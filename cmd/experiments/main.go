@@ -1,0 +1,132 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§VII) on the simulated world and prints the series the paper
+// reports. Use -run to select a single experiment and the sizing flags to
+// scale toward the paper's dataset sizes.
+//
+// Usage:
+//
+//	experiments [-rows 10] [-cols 10] [-train 400] [-test 600] [-seed 1]
+//	            [-run all|case|compression|fig8|fig9|fig10a|fig10b|fig11|fig12a|fig12b|matcher]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stmaker/internal/experiments"
+)
+
+func main() {
+	var (
+		rows  = flag.Int("rows", 10, "city grid rows")
+		cols  = flag.Int("cols", 10, "city grid columns")
+		train = flag.Int("train", 400, "training trips")
+		test  = flag.Int("test", 600, "test trips")
+		seed  = flag.Int64("seed", 1, "random seed")
+		spec  = flag.Bool("spec", false, "register the SpeC extension feature (Fig. 10b's 7-feature setup)")
+		run   = flag.String("run", "all", "experiment to run")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	w, err := experiments.NewWorld(experiments.Options{
+		CityRows: *rows, CityCols: *cols,
+		TrainTrips: *train, TestTrips: *test, Seed: *seed,
+		IncludeSpeC: *spec,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("world: %dx%d city, %d landmarks, %d train / %d test trips (built in %v)\n\n",
+		*rows, *cols, w.City.Landmarks.Len(), len(w.Train), len(w.Test), time.Since(start).Round(time.Millisecond))
+
+	sel := func(name string) bool { return *run == "all" || *run == name }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if sel("case") {
+		res, err := experiments.CaseStudy(w, 3)
+		if err != nil {
+			fail(err)
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+	}
+	if sel("compression") {
+		res, err := experiments.CompressionStudy(w, 200)
+		if err != nil {
+			fail(err)
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+	}
+	if sel("fig8") {
+		res, err := experiments.FeatureFrequencyByTime(w)
+		if err != nil {
+			fail(err)
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+	}
+	if sel("fig9") {
+		res, err := experiments.LandmarkUsageBySignificance(w)
+		if err != nil {
+			fail(err)
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+	}
+	if sel("fig10a") {
+		res, err := experiments.FeatureWeightSweep(w, []float64{0.5, 1, 2, 3, 4}, 200)
+		if err != nil {
+			fail(err)
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+	}
+	if sel("fig10b") {
+		res, err := experiments.PartitionSizeSweep(w, []int{1, 2, 3, 4, 5, 6, 7}, 200)
+		if err != nil {
+			fail(err)
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+	}
+	if sel("fig11") {
+		res, err := experiments.UserStudy(w, 450)
+		if err != nil {
+			fail(err)
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+	}
+	if sel("fig12a") {
+		res, err := experiments.TimingByTrajectorySize(w, 3)
+		if err != nil {
+			fail(err)
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+	}
+	if sel("fig12b") {
+		res, err := experiments.TimingByPartitionSize(w, []int{1, 2, 3, 4, 5, 6, 7}, 100)
+		if err != nil {
+			fail(err)
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+	}
+	if sel("matcher") {
+		res, err := experiments.MatcherAccuracy(w, 100, 25)
+		if err != nil {
+			fail(err)
+		}
+		res.Format(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,73 @@
+// Command stmakerd serves trajectory summarization over HTTP, the way the
+// original STMaker demo system ran online. It loads a world and training
+// corpus produced by cmd/trajgen, trains, and listens.
+//
+// Usage:
+//
+//	stmakerd -world world.json -train train.json [-addr :8080]
+//
+// Endpoints:
+//
+//	POST /summarize[?k=N]  {"trajectory": {...traj.Raw JSON...}, "k": N}
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"stmaker"
+	"stmaker/internal/server"
+	"stmaker/internal/worldio"
+)
+
+func main() {
+	var (
+		worldPath = flag.String("world", "world.json", "world file from trajgen")
+		trainPath = flag.String("train", "train.json", "training corpus")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	wf, err := os.Open(*worldPath)
+	if err != nil {
+		fatal(err)
+	}
+	graph, lms, err := worldio.LoadWorld(wf)
+	wf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	s, err := stmaker.New(stmaker.Config{Graph: graph, Landmarks: lms})
+	if err != nil {
+		fatal(err)
+	}
+	tf, err := os.Open(*trainPath)
+	if err != nil {
+		fatal(err)
+	}
+	corpus, err := worldio.LoadTrips(tf)
+	tf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := s.Train(corpus)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(s)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "stmakerd: trained on %d trajectories, listening on %s\n", stats.Calibrated, *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stmakerd:", err)
+	os.Exit(1)
+}

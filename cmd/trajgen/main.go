@@ -1,0 +1,91 @@
+// Command trajgen generates a synthetic world — a graded city road
+// network, a landmark dataset with inferred significance, and taxi-fleet
+// trajectory datasets — and writes them as JSON for cmd/stmaker.
+//
+// Usage:
+//
+//	trajgen [-rows 10] [-cols 10] [-train 400] [-test 100] [-seed 1] [-out .]
+//
+// It writes world.json, train.json and test.json into the -out directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stmaker/internal/hits"
+	"stmaker/internal/simulate"
+	"stmaker/internal/traj"
+	"stmaker/internal/worldio"
+)
+
+func main() {
+	var (
+		rows  = flag.Int("rows", 10, "city grid rows")
+		cols  = flag.Int("cols", 10, "city grid columns")
+		train = flag.Int("train", 400, "training trips (calm traffic)")
+		test  = flag.Int("test", 100, "test trips (live traffic with anomalies)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	city := simulate.NewCity(simulate.CityOptions{Rows: *rows, Cols: *cols, Seed: *seed})
+	visits := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: *seed + 1})
+	city.Landmarks.InferSignificance(200, visits, hits.Options{})
+
+	trainFleet := simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: *train, Seed: *seed + 2, FixedHour: -1, Calm: true,
+	})
+	testFleet := simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: *test, Seed: *seed + 3, FixedHour: -1,
+	})
+
+	if err := writeWorld(filepath.Join(*out, "world.json"), city); err != nil {
+		fatal(err)
+	}
+	if err := writeTrips(filepath.Join(*out, "train.json"), trainFleet); err != nil {
+		fatal(err)
+	}
+	if err := writeTrips(filepath.Join(*out, "test.json"), testFleet); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote world.json (%d nodes, %d edges, %d landmarks), train.json (%d trips), test.json (%d trips) to %s\n",
+		city.Graph.NumNodes(), city.Graph.NumEdges(), city.Landmarks.Len(),
+		len(trainFleet), len(testFleet), *out)
+}
+
+func writeWorld(path string, city *simulate.City) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := worldio.SaveWorld(f, city.Graph, city.Landmarks); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrips(path string, fleet []*simulate.Trip) error {
+	raws := make([]*traj.Raw, len(fleet))
+	for i, tr := range fleet {
+		raws[i] = tr.Raw
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := worldio.SaveTrips(f, raws); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trajgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package stmaker_test
+
+import (
+	"fmt"
+	"log"
+
+	"stmaker"
+	"stmaker/internal/feature"
+	"stmaker/internal/hits"
+	"stmaker/internal/simulate"
+	"stmaker/internal/summarize"
+	"stmaker/internal/traj"
+)
+
+// Example shows the full pipeline: build a world, train on a historical
+// corpus and summarize one trajectory.
+func Example() {
+	// External semantic inputs — here synthetic; in a deployment they come
+	// from a digital map, a POI database and an LBSN check-in feed.
+	city := simulate.NewCity(simulate.CityOptions{Rows: 6, Cols: 6, Seed: 1})
+	checkins := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 2})
+	city.Landmarks.InferSignificance(200, checkins, hits.Options{})
+
+	s, err := stmaker.New(stmaker.Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 200, Seed: 3, FixedHour: -1, Calm: true})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		log.Fatal(err)
+	}
+
+	trips := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 1, Seed: 4, FixedHour: 8})
+	sum, err := s.SummarizeK(trips[0].Raw, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(sum.Parts), "partitions")
+	// Output: 2 partitions
+}
+
+// ExampleSummarizer_RegisterFeature demonstrates the §VI-B extension
+// mechanism: a custom feature registered together with its phrase
+// template before training.
+func ExampleSummarizer_RegisterFeature() {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 6, Cols: 6, Seed: 1})
+	s, err := stmaker.New(stmaker.Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = s.RegisterFeature(feature.NewSpeedChange(), func(sf summarize.SelectedFeature) string {
+		return fmt.Sprintf("with %.0f abrupt speed changes", sf.Value)
+	})
+	fmt.Println(err == nil, s.Registry().Len())
+	// Output: true 7
+}

@@ -1,0 +1,80 @@
+// Infraction reminder: the introduction's application of embedding the
+// summarizer in a car's GPS module. A stream of completed trips is
+// summarized, and a reminder is emitted only for trips whose summary
+// surfaces a driving infraction — a U-turn or an overspeed reading.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"stmaker"
+	"stmaker/internal/feature"
+	"stmaker/internal/hits"
+	"stmaker/internal/simulate"
+	"stmaker/internal/summarize"
+	"stmaker/internal/traj"
+)
+
+func main() {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 8, Cols: 8, Seed: 7})
+	checkins := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 8})
+	city.Landmarks.InferSignificance(200, checkins, hits.Options{})
+
+	s, err := stmaker.New(stmaker.Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 300, Seed: 9, FixedHour: -1, Calm: true})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		log.Fatal(err)
+	}
+
+	// The day's trips arrive one by one; check each for infractions.
+	day := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 60, Seed: 10, FixedHour: -1})
+	var reminders int
+	for _, trip := range day {
+		sum, err := s.SummarizeK(trip.Raw, 3)
+		if err != nil {
+			continue
+		}
+		infractions := detectInfractions(sum)
+		if len(infractions) == 0 {
+			continue
+		}
+		reminders++
+		fmt.Printf("⚠ %s at %s:\n", trip.Raw.ID, trip.Start.Format("15:04"))
+		for _, inf := range infractions {
+			fmt.Printf("   - %s\n", inf)
+		}
+		fmt.Printf("   summary: %s\n\n", sum.Text)
+	}
+	fmt.Printf("%d of %d trips triggered an infraction reminder\n", reminders, len(day))
+}
+
+// detectInfractions inspects the selected features for behaviours worth a
+// reminder: any U-turn, or a speed reading well above the usual speed.
+func detectInfractions(sum *summarize.Summary) []string {
+	var out []string
+	for _, p := range sum.Parts {
+		for _, f := range p.Features {
+			switch f.Key {
+			case feature.KeyUTurns:
+				if n := len(f.UTurns); n > 0 {
+					out = append(out, fmt.Sprintf("%d U-turn(s) between %s and %s", n, p.SourceName, p.DestName))
+				}
+			case feature.KeySpeed:
+				if f.HasRegular && f.Value > f.Regular+15 {
+					out = append(out, fmt.Sprintf("overspeed: %.0f km/h (%.0f above usual) between %s and %s",
+						f.Value, math.Abs(f.Value-f.Regular), p.SourceName, p.DestName))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a simulated world, train STMaker on a historical
+// corpus, and summarize one trajectory at three granularities — the
+// library equivalent of the paper's Fig. 6 case study.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stmaker"
+	"stmaker/internal/hits"
+	"stmaker/internal/simulate"
+	"stmaker/internal/traj"
+)
+
+func main() {
+	// 1. A synthetic city: road network + landmark dataset. In a real
+	// deployment these come from a commercial map and a POI database.
+	city := simulate.NewCity(simulate.CityOptions{Rows: 8, Cols: 8, Seed: 42})
+
+	// 2. Landmark significance from LBSN-style check-ins (§IV-B).
+	visits := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 43})
+	city.Landmarks.InferSignificance(200, visits, hits.Options{})
+
+	// 3. The summarizer, with the paper's default parameters.
+	s, err := stmaker.New(stmaker.Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Train on a historical corpus of ordinary traffic.
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: 300, Seed: 44, FixedHour: -1, Calm: true,
+	})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	stats, err := s.Train(corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d trajectories (%d landmark transitions)\n\n", stats.Calibrated, stats.Transitions)
+
+	// 5. Pick a rush-hour trip with some injected anomalies and summarize
+	// it at k = 1, 2, 3 — more detail appears as k grows.
+	trips := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 40, Seed: 45, FixedHour: 8})
+	var trip *simulate.Trip
+	for _, tr := range trips {
+		if len(tr.Truth) >= 2 {
+			trip = tr
+			break
+		}
+	}
+	if trip == nil {
+		trip = trips[0]
+	}
+	fmt.Printf("trajectory %s: %d GPS samples, %.1f km, ground truth %v\n\n",
+		trip.Raw.ID, len(trip.Raw.Samples), trip.Raw.Length()/1000, eventKinds(trip))
+	for k := 1; k <= 3; k++ {
+		sum, err := s.SummarizeK(trip.Raw, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k=%d: %s\n\n", k, sum.Text)
+	}
+}
+
+func eventKinds(trip *simulate.Trip) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range trip.Truth {
+		if !seen[e.Kind.String()] {
+			seen[e.Kind.String()] = true
+			out = append(out, e.Kind.String())
+		}
+	}
+	return out
+}

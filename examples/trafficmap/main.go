@@ -1,0 +1,67 @@
+// Traffic overview: the §VI-C application of applying text processing to
+// trajectory summaries. The summaries of a rush-hour window are clustered
+// with TF-IDF k-means, giving a quick textual overview of what is
+// happening on the roads; the inverted index then answers ad-hoc queries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stmaker"
+	"stmaker/internal/hits"
+	"stmaker/internal/simulate"
+	"stmaker/internal/textproc"
+	"stmaker/internal/traj"
+)
+
+func main() {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 8, Cols: 8, Seed: 27})
+	checkins := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 28})
+	city.Landmarks.InferSignificance(200, checkins, hits.Options{})
+
+	s, err := stmaker.New(stmaker.Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 300, Seed: 29, FixedHour: -1, Calm: true})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		log.Fatal(err)
+	}
+
+	// Summaries of the 8:00–9:00 window.
+	window := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 80, Seed: 30, FixedHour: 8.5})
+	var docs []textproc.Document
+	for _, trip := range window {
+		sum, err := s.SummarizeK(trip.Raw, 2)
+		if err != nil {
+			continue
+		}
+		docs = append(docs, textproc.Document{ID: trip.Raw.ID, Text: sum.Text})
+	}
+	fmt.Printf("traffic overview, 08:00-09:00 — %d trip summaries\n\n", len(docs))
+
+	ix := textproc.NewIndex(docs)
+	cl := ix.Cluster(4, 50)
+	sizes := make([]int, 4)
+	for _, c := range cl.Assign {
+		sizes[c]++
+	}
+	for c := 0; c < 4; c++ {
+		fmt.Printf("cluster %d (%d trips): %v\n", c, sizes[c], cl.TopTerms(c, 6))
+	}
+
+	// Ad-hoc queries over the summaries (text search, §VI-C).
+	for _, q := range []string{"staying points", "u-turn", "slower"} {
+		hitsDocs := ix.Search(q)
+		fmt.Printf("\nquery %q: %d summaries", q, len(hitsDocs))
+		if len(hitsDocs) > 0 {
+			fmt.Printf("; e.g. %s: %s", hitsDocs[0].ID, hitsDocs[0].Text)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,64 @@
+// Travel diary: the introduction's application of turning a day of travel
+// into a shareable diary. All trips of one vehicle are summarized and
+// stitched into a timestamped narrative.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"stmaker"
+	"stmaker/internal/hits"
+	"stmaker/internal/simulate"
+	"stmaker/internal/traj"
+)
+
+func main() {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 8, Cols: 8, Seed: 17})
+	checkins := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 18})
+	city.Landmarks.InferSignificance(200, checkins, hits.Options{})
+
+	s, err := stmaker.New(stmaker.Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 300, Seed: 19, FixedHour: -1, Calm: true})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		log.Fatal(err)
+	}
+
+	// One taxi's trips over the day: pick the trips of a single object
+	// from a generated fleet.
+	fleet := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 120, Seed: 20, FixedHour: -1, Taxis: 8})
+	byTaxi := make(map[string][]*simulate.Trip)
+	for _, tr := range fleet {
+		byTaxi[tr.Raw.Object] = append(byTaxi[tr.Raw.Object], tr)
+	}
+	// The busiest taxi makes the most interesting diary.
+	var taxi string
+	for id, trips := range byTaxi {
+		if taxi == "" || len(trips) > len(byTaxi[taxi]) || (len(trips) == len(byTaxi[taxi]) && id < taxi) {
+			taxi = id
+		}
+	}
+	trips := byTaxi[taxi]
+	sort.Slice(trips, func(i, j int) bool { return trips[i].Start.Before(trips[j].Start) })
+
+	fmt.Printf("Travel diary for %s — %s, %d trips\n\n", taxi, trips[0].Start.Format("2 January 2006"), len(trips))
+	for _, trip := range trips {
+		sum, err := s.Summarize(trip.Raw)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%s (%.1f km, %s)\n  %s\n\n",
+			trip.Start.Format("15:04"),
+			trip.Raw.Length()/1000,
+			trip.Raw.Duration().Round(1e9),
+			sum.Text)
+	}
+}

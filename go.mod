@@ -1,0 +1,3 @@
+module stmaker
+
+go 1.22

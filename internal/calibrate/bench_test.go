@@ -1,0 +1,18 @@
+package calibrate
+
+import (
+	"testing"
+)
+
+func BenchmarkCalibrate(b *testing.B) {
+	set := lineSet(21, 200) // landmarks every 200m over 4km
+	cal := New(set, Options{RadiusMeters: 80})
+	r := sampleRoute(45, 5, 4000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cal.Calibrate(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

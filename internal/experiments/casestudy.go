@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"stmaker/internal/simulate"
+)
+
+// CaseStudyResult reproduces Fig. 6: one trajectory summarized at several
+// granularities, showing more detail as k grows.
+type CaseStudyResult struct {
+	TripID string
+	// Events are the ground-truth anomaly kinds of the chosen trip.
+	Events []string
+	// SummariesByK maps k → summary text.
+	SummariesByK map[int]string
+}
+
+// CaseStudy picks the most eventful test trip and summarizes it at
+// k = 1..maxK (Fig. 6 uses 1..3).
+func CaseStudy(w *World, maxK int) (*CaseStudyResult, error) {
+	if maxK < 1 {
+		maxK = 3
+	}
+	trip := mostEventfulTrip(w.Test)
+	if trip == nil {
+		return nil, fmt.Errorf("experiments: no eventful trip in the test set")
+	}
+	res := &CaseStudyResult{TripID: trip.Raw.ID, SummariesByK: make(map[int]string)}
+	seen := map[string]bool{}
+	for _, e := range trip.Truth {
+		if !seen[e.Kind.String()] {
+			seen[e.Kind.String()] = true
+			res.Events = append(res.Events, e.Kind.String())
+		}
+	}
+	sort.Strings(res.Events)
+	for k := 1; k <= maxK; k++ {
+		sum, err := w.Summarizer.SummarizeK(trip.Raw, k)
+		if err != nil {
+			return nil, err
+		}
+		res.SummariesByK[k] = sum.Text
+	}
+	return res, nil
+}
+
+// mostEventfulTrip returns the trip with the most distinct event kinds
+// (ties broken by total event count, then by id for determinism).
+func mostEventfulTrip(trips []*simulate.Trip) *simulate.Trip {
+	var best *simulate.Trip
+	bestKinds, bestTotal := -1, -1
+	for _, tr := range trips {
+		kinds := map[simulate.EventKind]bool{}
+		for _, e := range tr.Truth {
+			kinds[e.Kind] = true
+		}
+		if len(kinds) > bestKinds || (len(kinds) == bestKinds && len(tr.Truth) > bestTotal) {
+			best, bestKinds, bestTotal = tr, len(kinds), len(tr.Truth)
+		}
+	}
+	return best
+}
+
+// Format writes the case study in the layout of Fig. 6.
+func (r *CaseStudyResult) Format(out io.Writer) {
+	fmt.Fprintf(out, "Case study (Fig. 6) — trip %s, ground truth: %v\n", r.TripID, r.Events)
+	ks := make([]int, 0, len(r.SummariesByK))
+	for k := range r.SummariesByK {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		fmt.Fprintf(out, "  k=%d: %s\n", k, r.SummariesByK[k])
+	}
+}
+
+// CompressionResult quantifies the data-volume claim behind Fig. 7 and the
+// introduction: summaries are far smaller than raw trajectories.
+type CompressionResult struct {
+	Trips           int
+	AvgRawBytes     float64
+	AvgSummaryBytes float64
+	Ratio           float64 // raw / summary
+}
+
+// CompressionStudy summarizes up to n test trips and compares the
+// JSON-encoded raw size with the summary text size.
+func CompressionStudy(w *World, n int) (*CompressionResult, error) {
+	if n <= 0 || n > len(w.Test) {
+		n = len(w.Test)
+	}
+	var rawBytes, sumBytes, count float64
+	for _, trip := range w.Test[:n] {
+		sum, err := w.Summarizer.Summarize(trip.Raw)
+		if err != nil {
+			continue
+		}
+		enc, err := json.Marshal(trip.Raw)
+		if err != nil {
+			return nil, err
+		}
+		rawBytes += float64(len(enc))
+		sumBytes += float64(len(sum.Text))
+		count++
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("experiments: no trip could be summarized")
+	}
+	res := &CompressionResult{
+		Trips:           int(count),
+		AvgRawBytes:     rawBytes / count,
+		AvgSummaryBytes: sumBytes / count,
+	}
+	if res.AvgSummaryBytes > 0 {
+		res.Ratio = res.AvgRawBytes / res.AvgSummaryBytes
+	}
+	return res, nil
+}
+
+// Format writes the compression rows.
+func (r *CompressionResult) Format(out io.Writer) {
+	fmt.Fprintf(out, "Data volume (Fig. 7 / intro) — %d trips\n", r.Trips)
+	fmt.Fprintf(out, "  avg raw trajectory: %8.0f bytes\n", r.AvgRawBytes)
+	fmt.Fprintf(out, "  avg summary text:   %8.0f bytes\n", r.AvgSummaryBytes)
+	fmt.Fprintf(out, "  compression ratio:  %8.1fx\n", r.Ratio)
+}

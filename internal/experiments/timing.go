@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// TimingBySizeResult reproduces Fig. 12(a): mean summarization time per
+// trajectory bucketed by |T| (the symbolic trajectory's landmark count).
+type TimingBySizeResult struct {
+	// Buckets are the |T| bucket upper bounds.
+	Buckets []int
+	// MeanMs[i] is the mean per-trajectory time for bucket i.
+	MeanMs []float64
+	// Count[i] is the number of trajectories in bucket i.
+	Count []int
+	// K is the partition size used.
+	K int
+}
+
+// TimingByTrajectorySize summarizes the test set at fixed k and buckets
+// wall-clock time by trajectory size (Fig. 12a).
+func TimingByTrajectorySize(w *World, k int) (*TimingBySizeResult, error) {
+	if k <= 0 {
+		k = 3
+	}
+	type obs struct {
+		size int
+		ms   float64
+	}
+	var all []obs
+	for _, trip := range w.Test {
+		sym, err := w.Summarizer.Calibrate(trip.Raw)
+		if err != nil {
+			continue
+		}
+		start := time.Now()
+		if _, err := w.Summarizer.SummarizeK(trip.Raw, k); err != nil {
+			continue
+		}
+		all = append(all, obs{size: sym.Len(), ms: float64(time.Since(start).Microseconds()) / 1000})
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("experiments: nothing to time")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].size < all[j].size })
+	// Four equal-population buckets labelled by their max |T|.
+	res := &TimingBySizeResult{K: k}
+	nb := 4
+	for b := 0; b < nb; b++ {
+		lo, hi := b*len(all)/nb, (b+1)*len(all)/nb
+		if lo >= hi {
+			continue
+		}
+		var sum float64
+		for _, o := range all[lo:hi] {
+			sum += o.ms
+		}
+		res.Buckets = append(res.Buckets, all[hi-1].size)
+		res.MeanMs = append(res.MeanMs, sum/float64(hi-lo))
+		res.Count = append(res.Count, hi-lo)
+	}
+	return res, nil
+}
+
+// Format writes the Fig. 12(a) series.
+func (r *TimingBySizeResult) Format(out io.Writer) {
+	fmt.Fprintf(out, "Summarization time vs |T| (Fig. 12a), k=%d\n", r.K)
+	for i := range r.Buckets {
+		fmt.Fprintf(out, "  |T| <= %4d  %8.2f ms  (n=%d)\n", r.Buckets[i], r.MeanMs[i], r.Count[i])
+	}
+}
+
+// TimingByKResult reproduces Fig. 12(b): mean summarization time per
+// trajectory as k varies.
+type TimingByKResult struct {
+	Ks     []int
+	MeanMs []float64
+	Trips  int
+}
+
+// TimingByPartitionSize times summarization of up to n test trips for each
+// k (Fig. 12b).
+func TimingByPartitionSize(w *World, ks []int, n int) (*TimingByKResult, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3, 4, 5, 6, 7}
+	}
+	trips := sampleTrips(w.Test, n)
+	res := &TimingByKResult{Ks: ks, Trips: len(trips)}
+	for _, k := range ks {
+		start := time.Now()
+		var ok int
+		for _, trip := range trips {
+			if _, err := w.Summarizer.SummarizeK(trip.Raw, k); err == nil {
+				ok++
+			}
+		}
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		if ok == 0 {
+			ok = 1
+		}
+		res.MeanMs = append(res.MeanMs, elapsed/float64(ok))
+	}
+	return res, nil
+}
+
+// Format writes the Fig. 12(b) series.
+func (r *TimingByKResult) Format(out io.Writer) {
+	fmt.Fprintf(out, "Summarization time vs k (Fig. 12b) — %d trips per point\n", r.Trips)
+	for i, k := range r.Ks {
+		fmt.Fprintf(out, "  k=%d  %8.2f ms\n", k, r.MeanMs[i])
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stmaker/internal/feature"
+	"stmaker/internal/simulate"
+	"stmaker/internal/summarize"
+)
+
+// The paper's Fig. 11 asked thirty human volunteers to grade 450 summaries
+// into four understanding levels. Humans are not reproducible offline, so
+// this file implements a deterministic surrogate reader that applies the
+// paper's four level definitions mechanically, grading each summary
+// against the simulator's ground truth:
+//
+//	level 1 — no idea of the trajectory
+//	level 2 — a little idea of where OR how the object travelled
+//	level 3 — idea of where AND how, but the summary could be improved
+//	level 4 — knows clearly where and how; well presented
+//
+// "Where" is judged by the summary naming real landmarks along the route
+// in travel order; "how" by its coverage of the injected ground-truth
+// events without hallucinating behaviour that never happened.
+
+// Grade is a surrogate-reader understanding level, 1..4.
+type Grade int
+
+// UserStudyResult reproduces Fig. 11's distribution.
+type UserStudyResult struct {
+	// Counts[g-1] is the number of summaries graded g.
+	Counts [4]int
+	// Total is the number of graded summaries.
+	Total int
+}
+
+// Fraction returns the share of summaries at the given grade.
+func (r *UserStudyResult) Fraction(g Grade) float64 {
+	if r.Total == 0 || g < 1 || g > 4 {
+		return 0
+	}
+	return float64(r.Counts[g-1]) / float64(r.Total)
+}
+
+// FractionAtLeast returns the share of summaries graded g or better.
+func (r *UserStudyResult) FractionAtLeast(g Grade) float64 {
+	var n int
+	for gg := g; gg <= 4; gg++ {
+		n += r.Counts[gg-1]
+	}
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(n) / float64(r.Total)
+}
+
+// UserStudy grades up to n test-set summaries (the paper used 450). The
+// summaries are generated at k=3, the granularity of the paper's own
+// presentation examples (Fig. 6).
+func UserStudy(w *World, n int) (*UserStudyResult, error) {
+	trips := sampleTrips(w.Test, n)
+	res := &UserStudyResult{}
+	for _, trip := range trips {
+		sum, err := w.Summarizer.SummarizeK(trip.Raw, 3)
+		if err != nil {
+			// An unsummarizable trajectory gives the reader nothing:
+			// level 1.
+			res.Counts[0]++
+			res.Total++
+			continue
+		}
+		g := GradeSummary(w, trip, sum)
+		res.Counts[g-1]++
+		res.Total++
+	}
+	return res, nil
+}
+
+// GradeSummary applies the surrogate rubric to one summary.
+func GradeSummary(w *World, trip *simulate.Trip, sum *summarize.Summary) Grade {
+	whereOK := judgeWhere(w, trip, sum)
+	coverage, hallucinated := judgeHow(trip, sum)
+
+	switch {
+	case whereOK && coverage >= 0.75 && !hallucinated:
+		return 4
+	case whereOK && coverage >= 0.5:
+		return 3
+	case whereOK || coverage >= 0.25:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// judgeWhere checks that the summary names at least two landmarks, that
+// they lie near the travelled route, and that consecutive partitions chain
+// source→destination.
+func judgeWhere(w *World, trip *simulate.Trip, sum *summarize.Summary) bool {
+	if len(sum.Parts) == 0 {
+		return false
+	}
+	ids := sum.LandmarkIDs()
+	if len(ids) < 2 {
+		return false
+	}
+	route := trip.Raw.Polyline()
+	for _, id := range ids {
+		lm := w.City.Landmarks.Get(id)
+		if d, _, _ := route.NearestPoint(lm.Pt); d > 300 {
+			return false
+		}
+	}
+	for i := 1; i < len(sum.Parts); i++ {
+		if sum.Parts[i-1].Dest != sum.Parts[i].Source {
+			return false
+		}
+	}
+	return true
+}
+
+// eventFeatures maps each injected event kind to the feature keys that
+// legitimately describe it.
+var eventFeatures = map[simulate.EventKind][]string{
+	simulate.EventStay:       {feature.KeyStayPoints},
+	simulate.EventUTurn:      {feature.KeyUTurns},
+	simulate.EventOverspeed:  {feature.KeySpeed, feature.KeySpeedChange},
+	simulate.EventCongestion: {feature.KeySpeed},
+	simulate.EventDetour:     {feature.KeyGradeOfRoad, feature.KeyRoadWidth, feature.KeyDirection},
+}
+
+// judgeHow returns the fraction of distinct ground-truth event kinds the
+// summary covers, and whether the summary hallucinates: mentions stays or
+// U-turns on a trip whose ground truth has neither.
+func judgeHow(trip *simulate.Trip, sum *summarize.Summary) (coverage float64, hallucinated bool) {
+	kinds := map[simulate.EventKind]bool{}
+	for _, e := range trip.Truth {
+		kinds[e.Kind] = true
+	}
+	if len(kinds) == 0 {
+		// A calm trip is fully understood when the summary doesn't invent
+		// dramatic behaviour.
+		if sum.MentionsFeature(feature.KeyStayPoints) || sum.MentionsFeature(feature.KeyUTurns) {
+			return 1, true
+		}
+		return 1, false
+	}
+	var covered int
+	for kind := range kinds {
+		for _, key := range eventFeatures[kind] {
+			if sum.MentionsFeature(key) {
+				covered++
+				break
+			}
+		}
+	}
+	coverage = float64(covered) / float64(len(kinds))
+
+	// Hallucination: concrete countable events claimed without ground
+	// truth. Speed deviations are not counted here because congestion is
+	// ambient rather than injected per trip.
+	if !kinds[simulate.EventStay] && sum.MentionsFeature(feature.KeyStayPoints) {
+		hallucinated = true
+	}
+	if !kinds[simulate.EventUTurn] && sum.MentionsFeature(feature.KeyUTurns) {
+		hallucinated = true
+	}
+	return coverage, hallucinated
+}
+
+// Format writes the Fig. 11 distribution.
+func (r *UserStudyResult) Format(out io.Writer) {
+	fmt.Fprintf(out, "Surrogate user study (Fig. 11) — %d summaries\n", r.Total)
+	for g := Grade(1); g <= 4; g++ {
+		fmt.Fprintf(out, "  level %d: %5.1f%% (%d)\n", g, r.Fraction(g)*100, r.Counts[g-1])
+	}
+	fmt.Fprintf(out, "  level 3+4 (intuitive view): %.1f%%\n", r.FractionAtLeast(3)*100)
+}

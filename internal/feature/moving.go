@@ -1,0 +1,283 @@
+package feature
+
+import (
+	"time"
+
+	"stmaker/internal/geo"
+	"stmaker/internal/traj"
+)
+
+// Speed extracts the average speed in km/h of a segment, computed on the
+// sample-based trajectory as §III-B prescribes.
+type Speed struct{}
+
+// NewSpeed returns the speed extractor.
+func NewSpeed() Speed { return Speed{} }
+
+// Descriptor implements Extractor.
+func (Speed) Descriptor() Descriptor {
+	return Descriptor{Key: KeySpeed, Name: "speed", Class: Moving, Numeric: true}
+}
+
+// Extract implements Extractor.
+func (Speed) Extract(seg traj.Segment, _ *Context) float64 {
+	samples := seg.RawSamples()
+	if len(samples) < 2 {
+		return 0
+	}
+	elapsed := samples[len(samples)-1].T.Sub(samples[0].T).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	var dist float64
+	for i := 1; i < len(samples); i++ {
+		dist += geo.Distance(samples[i-1].Pt, samples[i].Pt)
+	}
+	return dist / elapsed * 3.6
+}
+
+// Stay is one detected stay point: a place where the moving object stayed
+// within a small radius for a long time (§III-B). It is a by-product of
+// StayPoints extraction consumed by the summary templates.
+type Stay struct {
+	Center   geo.Point
+	Start    time.Time
+	Duration time.Duration
+}
+
+// StayPoints counts the stay points of a segment.
+type StayPoints struct {
+	// MaxRadiusMeters is the maximum roaming radius of a stay (default 50).
+	MaxRadiusMeters float64
+	// MinDuration is the minimum dwell time of a stay (default 60s).
+	MinDuration time.Duration
+}
+
+// NewStayPoints returns a StayPoints extractor with the default thresholds.
+func NewStayPoints() StayPoints {
+	return StayPoints{MaxRadiusMeters: 50, MinDuration: 60 * time.Second}
+}
+
+// Descriptor implements Extractor.
+func (StayPoints) Descriptor() Descriptor {
+	return Descriptor{Key: KeyStayPoints, Name: "stay points", Class: Moving, Numeric: true}
+}
+
+// Extract implements Extractor: the number of stay points of the segment.
+func (sp StayPoints) Extract(seg traj.Segment, _ *Context) float64 {
+	return float64(len(sp.Detect(seg.RawSamples())))
+}
+
+// Detect returns the stay points of a sample sequence, in time order.
+func (sp StayPoints) Detect(samples []traj.Sample) []Stay {
+	maxR := sp.MaxRadiusMeters
+	if maxR <= 0 {
+		maxR = 50
+	}
+	minD := sp.MinDuration
+	if minD <= 0 {
+		minD = 60 * time.Second
+	}
+	var stays []Stay
+	i := 0
+	for i < len(samples) {
+		// Grow the window [i, j] while every sample stays within maxR of
+		// the window's anchor sample i.
+		j := i
+		for j+1 < len(samples) && geo.Distance(samples[i].Pt, samples[j+1].Pt) <= maxR {
+			j++
+		}
+		if dwell := samples[j].T.Sub(samples[i].T); j > i && dwell >= minD {
+			// Centroid of the window.
+			var lat, lng float64
+			for k := i; k <= j; k++ {
+				lat += samples[k].Pt.Lat
+				lng += samples[k].Pt.Lng
+			}
+			n := float64(j - i + 1)
+			stays = append(stays, Stay{
+				Center:   geo.Point{Lat: lat / n, Lng: lng / n},
+				Start:    samples[i].T,
+				Duration: dwell,
+			})
+			i = j + 1
+			continue
+		}
+		i++
+	}
+	return stays
+}
+
+// UTurn is one detected sharp directional reversal, a by-product of UTurns
+// extraction consumed by the summary templates ("at places of U-turns").
+type UTurn struct {
+	At geo.Point
+	T  time.Time
+}
+
+// UTurns counts the U-turns of a segment (§III-B): sharp directional
+// changes of the moving object.
+type UTurns struct {
+	// MinHeadingChangeDeg is the heading reversal threshold (default 150).
+	MinHeadingChangeDeg float64
+	// MinLegMeters is the minimum movement before and after the turn for
+	// headings to be trustworthy (default 20).
+	MinLegMeters float64
+}
+
+// NewUTurns returns a UTurns extractor with the default thresholds.
+func NewUTurns() UTurns {
+	return UTurns{MinHeadingChangeDeg: 150, MinLegMeters: 20}
+}
+
+// Descriptor implements Extractor.
+func (UTurns) Descriptor() Descriptor {
+	return Descriptor{Key: KeyUTurns, Name: "U-turns", Class: Moving, Numeric: true}
+}
+
+// Extract implements Extractor: the number of U-turns of the segment.
+func (ut UTurns) Extract(seg traj.Segment, _ *Context) float64 {
+	return float64(len(ut.Detect(seg.RawSamples())))
+}
+
+// Detect returns the U-turns of a sample sequence, in time order.
+func (ut UTurns) Detect(samples []traj.Sample) []UTurn {
+	minTurn := ut.MinHeadingChangeDeg
+	if minTurn <= 0 {
+		minTurn = 150
+	}
+	minLeg := ut.MinLegMeters
+	if minLeg <= 0 {
+		minLeg = 20
+	}
+	// Build movement legs: hops of at least minLeg metres so headings are
+	// meaningful even with jittery, dense sampling.
+	type leg struct {
+		heading float64
+		end     traj.Sample
+	}
+	var legs []leg
+	last := 0
+	for i := 1; i < len(samples); i++ {
+		if geo.Distance(samples[last].Pt, samples[i].Pt) >= minLeg {
+			legs = append(legs, leg{
+				heading: geo.Bearing(samples[last].Pt, samples[i].Pt),
+				end:     samples[i],
+			})
+			last = i
+		}
+	}
+	var turns []UTurn
+	for i := 1; i < len(legs); i++ {
+		if geo.AngleDiff(legs[i-1].heading, legs[i].heading) >= minTurn {
+			// The reversal happened around the end of the previous leg.
+			turns = append(turns, UTurn{At: legs[i-1].end.Pt, T: legs[i-1].end.T})
+		}
+	}
+	return turns
+}
+
+// SpeedChange counts sharp speed changes — accelerations or decelerations
+// exceeding a threshold between consecutive sampling intervals. It is the
+// "SpeC" extension feature that Fig. 10(b) adds to the default six,
+// registered through the §VI-B extension mechanism.
+type SpeedChange struct {
+	// MinDeltaKmh is the speed jump that counts as sharp (default 25).
+	MinDeltaKmh float64
+}
+
+// NewSpeedChange returns a SpeedChange extractor with the default
+// threshold.
+func NewSpeedChange() SpeedChange { return SpeedChange{MinDeltaKmh: 25} }
+
+// Descriptor implements Extractor.
+func (SpeedChange) Descriptor() Descriptor {
+	return Descriptor{Key: KeySpeedChange, Name: "sharp speed changes", Class: Moving, Numeric: true}
+}
+
+// Extract implements Extractor: the number of sharp speed changes.
+func (sc SpeedChange) Extract(seg traj.Segment, _ *Context) float64 {
+	minDelta := sc.MinDeltaKmh
+	if minDelta <= 0 {
+		minDelta = 25
+	}
+	samples := seg.RawSamples()
+	if len(samples) < 3 {
+		return 0
+	}
+	speeds := make([]float64, 0, len(samples)-1)
+	for i := 1; i < len(samples); i++ {
+		dt := samples[i].T.Sub(samples[i-1].T).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		speeds = append(speeds, geo.Distance(samples[i-1].Pt, samples[i].Pt)/dt*3.6)
+	}
+	var count float64
+	for i := 1; i < len(speeds); i++ {
+		if d := speeds[i] - speeds[i-1]; d >= minDelta || d <= -minDelta {
+			count++
+		}
+	}
+	return count
+}
+
+// Turns counts ordinary turns — heading changes sharp enough to be a
+// corner but short of a U-turn reversal. It is not one of the paper's six
+// default features; it ships as a ready-made §VI-B extension (register it
+// with Registry.Register) and exercises the same leg-based heading
+// machinery as UTurns.
+type Turns struct {
+	// MinHeadingChangeDeg and MaxHeadingChangeDeg bound what counts as a
+	// turn (defaults 60 and 150; at 150 and above UTurns takes over).
+	MinHeadingChangeDeg float64
+	MaxHeadingChangeDeg float64
+	// MinLegMeters is the minimum movement before and after the turn
+	// (default 20).
+	MinLegMeters float64
+}
+
+// NewTurns returns a Turns extractor with the default thresholds.
+func NewTurns() Turns {
+	return Turns{MinHeadingChangeDeg: 60, MaxHeadingChangeDeg: 150, MinLegMeters: 20}
+}
+
+// KeyTurns is the Turns extension feature key.
+const KeyTurns = "Turn"
+
+// Descriptor implements Extractor.
+func (Turns) Descriptor() Descriptor {
+	return Descriptor{Key: KeyTurns, Name: "turns", Class: Moving, Numeric: true}
+}
+
+// Extract implements Extractor: the number of turns of the segment.
+func (tn Turns) Extract(seg traj.Segment, _ *Context) float64 {
+	minTurn := tn.MinHeadingChangeDeg
+	if minTurn <= 0 {
+		minTurn = 60
+	}
+	maxTurn := tn.MaxHeadingChangeDeg
+	if maxTurn <= 0 {
+		maxTurn = 150
+	}
+	minLeg := tn.MinLegMeters
+	if minLeg <= 0 {
+		minLeg = 20
+	}
+	samples := seg.RawSamples()
+	var headings []float64
+	last := 0
+	for i := 1; i < len(samples); i++ {
+		if geo.Distance(samples[last].Pt, samples[i].Pt) >= minLeg {
+			headings = append(headings, geo.Bearing(samples[last].Pt, samples[i].Pt))
+			last = i
+		}
+	}
+	var count float64
+	for i := 1; i < len(headings); i++ {
+		if d := geo.AngleDiff(headings[i-1], headings[i]); d >= minTurn && d < maxTurn {
+			count++
+		}
+	}
+	return count
+}

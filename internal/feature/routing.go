@@ -1,0 +1,102 @@
+package feature
+
+import (
+	"stmaker/internal/roadnet"
+	"stmaker/internal/traj"
+)
+
+// GradeOfRoad extracts the dominant road grade of a segment (Table III).
+// The value is the categorical grade code 1–7; 0 when the segment cannot
+// be matched to the road network.
+type GradeOfRoad struct{}
+
+// Descriptor implements Extractor.
+func (GradeOfRoad) Descriptor() Descriptor {
+	return Descriptor{Key: KeyGradeOfRoad, Name: "grade of road", Class: Routing, Numeric: false}
+}
+
+// Extract implements Extractor: the modal grade of the matched edges.
+func (GradeOfRoad) Extract(seg traj.Segment, ctx *Context) float64 {
+	edges := ctx.SegmentEdges(seg)
+	if len(edges) == 0 {
+		return 0
+	}
+	counts := make(map[roadnet.Grade]int)
+	for _, e := range edges {
+		counts[e.Grade]++
+	}
+	best, bestN := roadnet.Grade(0), 0
+	for g, n := range counts {
+		if n > bestN || (n == bestN && g < best) {
+			best, bestN = g, n
+		}
+	}
+	return float64(best)
+}
+
+// RoadWidth extracts the mean width in metres of the roads the segment
+// travels on (Table III). Zero when unmatched.
+type RoadWidth struct{}
+
+// Descriptor implements Extractor.
+func (RoadWidth) Descriptor() Descriptor {
+	return Descriptor{Key: KeyRoadWidth, Name: "road width", Class: Routing, Numeric: true}
+}
+
+// Extract implements Extractor.
+func (RoadWidth) Extract(seg traj.Segment, ctx *Context) float64 {
+	edges := ctx.SegmentEdges(seg)
+	if len(edges) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range edges {
+		sum += e.Width
+	}
+	return sum / float64(len(edges))
+}
+
+// TrafficDirection extracts the dominant traffic direction of the segment
+// (Table III): 1 (two-way) or 2 (one-way); 0 when unmatched.
+type TrafficDirection struct{}
+
+// Descriptor implements Extractor.
+func (TrafficDirection) Descriptor() Descriptor {
+	return Descriptor{Key: KeyDirection, Name: "traffic direction", Class: Routing, Numeric: false}
+}
+
+// Extract implements Extractor.
+func (TrafficDirection) Extract(seg traj.Segment, ctx *Context) float64 {
+	edges := ctx.SegmentEdges(seg)
+	if len(edges) == 0 {
+		return 0
+	}
+	counts := make(map[roadnet.Direction]int)
+	for _, e := range edges {
+		counts[e.Direction]++
+	}
+	if counts[roadnet.OneWay] > counts[roadnet.TwoWay] {
+		return float64(roadnet.OneWay)
+	}
+	return float64(roadnet.TwoWay)
+}
+
+// DominantRoadName returns the most frequently matched road name of the
+// segment, used by templates ("through highway (G6)"). Empty when the
+// segment is unmatched or the roads are unnamed.
+func DominantRoadName(seg traj.Segment, ctx *Context) string {
+	edges := ctx.SegmentEdges(seg)
+	counts := make(map[string]int)
+	for _, e := range edges {
+		if e.Name != "" {
+			counts[e.Name]++
+		}
+	}
+	best, bestN := "", 0
+	for name, n := range counts {
+		if n > bestN || (n == bestN && name < best) {
+			best, bestN = name, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,415 @@
+// Package history distils a corpus of historical symbolic trajectories
+// into the two knowledge structures STMaker's feature selection needs
+// (§V): the most popular route between two landmarks (mined in the spirit
+// of Chen, Shen and Zhou, ICDE 2011), and the historical feature map — a
+// directed landmark graph whose edges carry the regular (average) value of
+// each moving feature.
+package history
+
+import (
+	"container/heap"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"stmaker/internal/feature"
+	"stmaker/internal/traj"
+)
+
+// Popular mines popular routes from the training corpus, in the spirit of
+// Chen, Shen and Zhou (ICDE 2011). The most popular route from a to b is
+// the most frequently observed contiguous landmark subroute from a to b
+// across the corpus; when a→b was never observed contiguously, it falls
+// back to the maximum-likelihood landmark path under first-order
+// transition probabilities (Dijkstra over −log-probability costs).
+type Popular struct {
+	counts    map[[2]int]float64 // transitions a→b observed
+	outCounts map[int]float64    // transitions leaving a
+	adj       map[int][]int      // successors of a
+
+	seqs [][]int          // landmark sequences of the corpus
+	occ  map[int][]occRef // positions of each landmark
+
+	mu    sync.Mutex
+	cache map[[2]int][]int
+}
+
+type occRef struct {
+	seq, pos int
+}
+
+// BuildPopular accumulates transition statistics and the subroute index
+// from the corpus.
+func BuildPopular(corpus []*traj.Symbolic) *Popular {
+	p := &Popular{
+		counts:    make(map[[2]int]float64),
+		outCounts: make(map[int]float64),
+		adj:       make(map[int][]int),
+		occ:       make(map[int][]occRef),
+		cache:     make(map[[2]int][]int),
+	}
+	for _, s := range corpus {
+		ids := s.LandmarkIDs()
+		si := len(p.seqs)
+		p.seqs = append(p.seqs, ids)
+		for i, id := range ids {
+			p.occ[id] = append(p.occ[id], occRef{seq: si, pos: i})
+		}
+		for i := 1; i < len(ids); i++ {
+			a, b := ids[i-1], ids[i]
+			if a == b {
+				continue
+			}
+			key := [2]int{a, b}
+			if p.counts[key] == 0 {
+				p.adj[a] = append(p.adj[a], b)
+			}
+			p.counts[key]++
+			p.outCounts[a]++
+		}
+	}
+	return p
+}
+
+// TransitionCount returns how many times a→b was observed.
+func (p *Popular) TransitionCount(a, b int) int {
+	return int(p.counts[[2]int{a, b}])
+}
+
+// routeItem is a priority-queue element for the max-likelihood search.
+type routeItem struct {
+	node int
+	cost float64
+	idx  int
+}
+
+type routePQ []*routeItem
+
+func (q routePQ) Len() int            { return len(q) }
+func (q routePQ) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q routePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
+func (q *routePQ) Push(x interface{}) { it := x.(*routeItem); it.idx = len(*q); *q = append(*q, it) }
+func (q *routePQ) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	old[len(old)-1] = nil
+	*q = old[:len(old)-1]
+	return it
+}
+
+// Route returns the most popular landmark path from a to b (inclusive of
+// both endpoints), or false when b is not reachable from a in the corpus.
+// Results are cached; the method is safe for concurrent use.
+func (p *Popular) Route(a, b int) ([]int, bool) {
+	if a == b {
+		return []int{a}, true
+	}
+	key := [2]int{a, b}
+	p.mu.Lock()
+	if cached, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		return cached, cached != nil
+	}
+	p.mu.Unlock()
+
+	route, ok := p.computeRoute(a, b)
+	p.mu.Lock()
+	if ok {
+		p.cache[key] = route
+	} else {
+		p.cache[key] = nil
+	}
+	p.mu.Unlock()
+	return route, ok
+}
+
+// computeRoute first mines the most frequent observed subroute, then falls
+// back to the max-likelihood transition path.
+func (p *Popular) computeRoute(a, b int) ([]int, bool) {
+	if route := p.frequentSubroute(a, b); route != nil {
+		return route, true
+	}
+	return p.likelihoodRoute(a, b)
+}
+
+// frequentSubroute scans every corpus occurrence of a, extracts the
+// shortest contiguous continuation reaching b within that trajectory, and
+// returns the most frequent such subroute (ties: shorter first, then
+// lexicographically smaller, for determinism). Nil when never observed.
+func (p *Popular) frequentSubroute(a, b int) []int {
+	counts := make(map[string]int)
+	routes := make(map[string][]int)
+	for _, ref := range p.occ[a] {
+		seq := p.seqs[ref.seq]
+		for j := ref.pos + 1; j < len(seq); j++ {
+			if seq[j] != b {
+				continue
+			}
+			sub := seq[ref.pos : j+1]
+			k := routeKey(sub)
+			counts[k]++
+			if _, seen := routes[k]; !seen {
+				routes[k] = append([]int(nil), sub...)
+			}
+			break // take the first (shortest-span) reach of b per occurrence
+		}
+	}
+	var bestKey string
+	best := -1
+	for k, n := range counts {
+		switch {
+		case n > best,
+			n == best && len(routes[k]) < len(routes[bestKey]),
+			n == best && len(routes[k]) == len(routes[bestKey]) && k < bestKey:
+			best, bestKey = n, k
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return routes[bestKey]
+}
+
+func routeKey(ids []int) string {
+	var sb strings.Builder
+	for _, id := range ids {
+		sb.WriteString(strconv.Itoa(id))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// likelihoodRoute is the fallback Dijkstra over −log transition
+// probabilities.
+func (p *Popular) likelihoodRoute(a, b int) ([]int, bool) {
+	dist := map[int]float64{a: 0}
+	prev := map[int]int{}
+	done := map[int]bool{}
+	q := &routePQ{}
+	heap.Init(q)
+	heap.Push(q, &routeItem{node: a, cost: 0})
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(*routeItem)
+		u := cur.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == b {
+			break
+		}
+		total := p.outCounts[u]
+		if total == 0 {
+			continue
+		}
+		for _, v := range p.adj[u] {
+			if done[v] {
+				continue
+			}
+			prob := p.counts[[2]int{u, v}] / total
+			// prob ≤ 1 so the edge cost is non-negative; Dijkstra applies.
+			cost := dist[u] - math.Log(prob)
+			if old, seen := dist[v]; !seen || cost < old {
+				dist[v] = cost
+				prev[v] = u
+				heap.Push(q, &routeItem{node: v, cost: cost})
+			}
+		}
+	}
+	if !done[b] {
+		return nil, false
+	}
+	var rev []int
+	for at := b; at != a; at = prev[at] {
+		rev = append(rev, at)
+	}
+	rev = append(rev, a)
+	out := make([]int, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, true
+}
+
+// FeatureMap is the historical feature map of §V-B: a directed graph over
+// landmarks where each edge (li, lj) — present when some training
+// trajectory travelled li→lj directly — is annotated with the average
+// value r of every feature on that transition.
+type FeatureMap struct {
+	dims        int
+	categorical []bool
+	sums        map[[2]int][]float64
+	// catCounts[key][j] is the per-value histogram of categorical
+	// dimension j on the transition; nil for numeric dimensions.
+	catCounts map[[2]int][]map[float64]float64
+	n         map[[2]int]float64
+}
+
+// BuildFeatureMap extracts every feature of every segment of the corpus
+// and aggregates per landmark transition. The registry and context must
+// match those used at summarization time. Numeric features aggregate by
+// mean; categorical features (per the registry's descriptors) by mode —
+// averaging category codes would produce values that match no real
+// category and poison the edit-distance comparison.
+func BuildFeatureMap(corpus []*traj.Symbolic, reg *feature.Registry, ctx *feature.Context) *FeatureMap {
+	m := NewFeatureMap(reg.Len())
+	for j, d := range reg.Descriptors() {
+		if !d.Numeric {
+			m.MarkCategorical(j)
+		}
+	}
+	for _, s := range corpus {
+		for _, seg := range s.Segments() {
+			v := reg.Extract(seg, ctx)
+			m.Add(seg.From.Landmark, seg.To.Landmark, v)
+		}
+	}
+	return m
+}
+
+// NewFeatureMap returns an empty map for dims features (all numeric), for
+// incremental construction.
+func NewFeatureMap(dims int) *FeatureMap {
+	return &FeatureMap{
+		dims:        dims,
+		categorical: make([]bool, dims),
+		sums:        make(map[[2]int][]float64),
+		catCounts:   make(map[[2]int][]map[float64]float64),
+		n:           make(map[[2]int]float64),
+	}
+}
+
+// MarkCategorical declares dimension j categorical: its regular value is
+// the modal observed value rather than the mean. Must be called before
+// any Add.
+func (m *FeatureMap) MarkCategorical(j int) { m.categorical[j] = true }
+
+// Dims returns the feature dimensionality.
+func (m *FeatureMap) Dims() int { return m.dims }
+
+// Add records one observed feature vector for the transition a→b.
+func (m *FeatureMap) Add(a, b int, v []float64) {
+	if len(v) != m.dims {
+		return
+	}
+	key := [2]int{a, b}
+	s := m.sums[key]
+	if s == nil {
+		s = make([]float64, m.dims)
+		m.sums[key] = s
+	}
+	for j, x := range v {
+		s[j] += x
+	}
+	var counts []map[float64]float64
+	for j, x := range v {
+		if !m.categorical[j] {
+			continue
+		}
+		if counts == nil {
+			counts = m.catCounts[key]
+			if counts == nil {
+				counts = make([]map[float64]float64, m.dims)
+				m.catCounts[key] = counts
+			}
+		}
+		if counts[j] == nil {
+			counts[j] = make(map[float64]float64)
+		}
+		counts[j][x]++
+	}
+	m.n[key]++
+}
+
+// Regular returns the regular feature vector r of the transition a→b —
+// per-dimension mean (numeric) or mode (categorical) — or false when the
+// corpus never travelled it.
+func (m *FeatureMap) Regular(a, b int) ([]float64, bool) {
+	key := [2]int{a, b}
+	n := m.n[key]
+	if n == 0 {
+		return nil, false
+	}
+	out := make([]float64, m.dims)
+	counts := m.catCounts[key]
+	for j, s := range m.sums[key] {
+		if m.categorical[j] && counts != nil && counts[j] != nil {
+			best, bestN := 0.0, 0.0
+			for val, c := range counts[j] {
+				if c > bestN || (c == bestN && val < best) {
+					best, bestN = val, c
+				}
+			}
+			out[j] = best
+			continue
+		}
+		out[j] = s / n
+	}
+	return out, true
+}
+
+// Flattened returns a copy of the map covering the same transitions but
+// carrying the global regular vector on every one — the crude baseline the
+// ablation benches compare the per-edge map against.
+func (m *FeatureMap) Flattened() *FeatureMap {
+	g := m.GlobalMean()
+	out := NewFeatureMap(m.dims)
+	copy(out.categorical, m.categorical)
+	for key := range m.n {
+		out.Add(key[0], key[1], g)
+	}
+	return out
+}
+
+// HasEdge reports whether the corpus ever travelled a→b directly.
+func (m *FeatureMap) HasEdge(a, b int) bool { return m.n[[2]int{a, b}] > 0 }
+
+// NumEdges returns the number of annotated transitions.
+func (m *FeatureMap) NumEdges() int { return len(m.n) }
+
+// GlobalMean returns the corpus-wide regular value of every feature — the
+// mean for numeric dimensions and the mode for categorical ones. It is
+// the substitution value for transitions the corpus never travelled, and
+// the crude baseline the ablation benches compare the per-edge map
+// against.
+func (m *FeatureMap) GlobalMean() []float64 {
+	out := make([]float64, m.dims)
+	var total float64
+	catTotals := make([]map[float64]float64, m.dims)
+	for key, s := range m.sums {
+		for j, x := range s {
+			out[j] += x
+		}
+		total += m.n[key]
+		for j, counts := range m.catCounts[key] {
+			if counts == nil {
+				continue
+			}
+			if catTotals[j] == nil {
+				catTotals[j] = make(map[float64]float64)
+			}
+			for val, c := range counts {
+				catTotals[j][val] += c
+			}
+		}
+	}
+	if total > 0 {
+		for j := range out {
+			out[j] /= total
+		}
+	}
+	for j := range out {
+		if !m.categorical[j] || catTotals[j] == nil {
+			continue
+		}
+		best, bestN := 0.0, 0.0
+		for val, c := range catTotals[j] {
+			if c > bestN || (c == bestN && val < best) {
+				best, bestN = val, c
+			}
+		}
+		out[j] = best
+	}
+	return out
+}

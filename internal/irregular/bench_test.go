@@ -1,0 +1,70 @@
+package irregular
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func benchSeq(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * 7
+	}
+	return out
+}
+
+func BenchmarkEditDistance50(b *testing.B) {
+	a, c := benchSeq(50, 1), benchSeq(50, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EditDistance(a, c, true)
+	}
+}
+
+func BenchmarkRoutingRate(b *testing.B) {
+	a, c := benchSeq(20, 3), benchSeq(25, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RoutingRate(a, c, true, 1)
+	}
+}
+
+func BenchmarkMovingRate(b *testing.B) {
+	a, c := benchSeq(20, 5), benchSeq(20, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MovingRate(a, c, 1)
+	}
+}
+
+func FuzzEditDistance(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{1, 5, 3})
+	f.Add([]byte{}, []byte{9})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		// Interpret bytes as small categorical codes.
+		a := make([]float64, len(ab))
+		for i, x := range ab {
+			a[i] = float64(x % 8)
+		}
+		c := make([]float64, len(bb))
+		for i, x := range bb {
+			c[i] = float64(x % 8)
+		}
+		d := EditDistance(a, c, false)
+		if d < 0 || math.IsNaN(d) {
+			t.Fatalf("negative/NaN distance %v", d)
+		}
+		if d > float64(len(a)+len(c)) {
+			t.Fatalf("distance %v exceeds worst-case alignment %d", d, len(a)+len(c))
+		}
+		if rev := EditDistance(c, a, false); math.Abs(rev-d) > 1e-9 {
+			t.Fatalf("asymmetric: %v vs %v", d, rev)
+		}
+		// Triangle-ish bound vs empty: |len(a)-len(c)| ≤ d.
+		if diff := math.Abs(float64(len(a) - len(c))); d < diff-1e-9 {
+			t.Fatalf("distance %v below length gap %v", d, diff)
+		}
+	})
+}

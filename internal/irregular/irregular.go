@@ -1,0 +1,153 @@
+// Package irregular implements STMaker's feature interestingness measure
+// (§V): the irregular rate Γf(TP) of a feature f on a trajectory
+// partition TP, computed against the common behaviour of historical
+// trajectories. Only features whose irregular rate exceeds a threshold η
+// are described in the summary.
+package irregular
+
+import "fmt"
+
+// DefaultThreshold is the paper's experimental setting η = 0.2 for the
+// irregular-rate threshold of a selected feature (§VII-B).
+const DefaultThreshold = 0.2
+
+// EditDistance computes the edit-distance-like measure d(FTP, FPR) of
+// §V-A between two feature-value sequences. Insertions and deletions cost
+// 1; substitution costs |a−b| for numeric features (Eq. 6) and 0/1 for
+// categorical features (Eq. 7).
+func EditDistance(a, b []float64, numeric bool) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return float64(lb)
+	}
+	if lb == 0 {
+		return float64(la)
+	}
+	// DP over the recursion, rows indexed by a, columns by b.
+	prev := make([]float64, lb+1)
+	cur := make([]float64, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = float64(j)
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = float64(i)
+		for j := 1; j <= lb; j++ {
+			sub := prev[j-1] + cost(a[i-1], b[j-1], numeric)
+			del := prev[j] + 1
+			ins := cur[j-1] + 1
+			cur[j] = min3(sub, del, ins)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+func cost(x, y float64, numeric bool) float64 {
+	if numeric {
+		if x > y {
+			return x - y
+		}
+		return y - x
+	}
+	if x != y {
+		return 1
+	}
+	return 0
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+// normalizeSeq divides a sequence by its own maximum absolute value,
+// following §V-A's definition of the normalized feature sequence. A zero
+// sequence is returned unchanged.
+func normalizeSeq(v []float64) []float64 {
+	var m float64
+	for _, x := range v {
+		if a := abs(x); a > m {
+			m = a
+		}
+	}
+	out := make([]float64, len(v))
+	if m == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / m
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RoutingRate computes Γf(TP) for a routing feature (§V-A): the weighted,
+// length-normalized edit distance between the partition's feature sequence
+// and the popular route's feature sequence. Numeric sequences are first
+// normalized by their own maxima; categorical sequences compare raw
+// category codes, since scaling category ids would destroy equality.
+func RoutingRate(tpSeq, prSeq []float64, numeric bool, w float64) float64 {
+	maxLen := len(tpSeq)
+	if len(prSeq) > maxLen {
+		maxLen = len(prSeq)
+	}
+	if maxLen == 0 {
+		return 0
+	}
+	a, b := tpSeq, prSeq
+	if numeric {
+		a, b = normalizeSeq(tpSeq), normalizeSeq(prSeq)
+	}
+	return w * EditDistance(a, b, numeric) / float64(maxLen)
+}
+
+// MovingRate computes Γf(TP) for a moving feature (§V-B): the weighted
+// mean absolute deviation between the partition's per-segment feature
+// values and the regular values from the historical feature map, both
+// normalized by the partition's maximum feature value. vals and regular
+// must be aligned per segment.
+func MovingRate(vals, regular []float64, w float64) float64 {
+	if len(vals) != len(regular) {
+		panic(fmt.Sprintf("irregular: vals length %d, regular length %d", len(vals), len(regular)))
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	// §V-B: "the normalization constant is the biggest feature value among
+	// all segments of the partition". Fall back to the regular values'
+	// maximum when the partition's values are all zero (e.g. zero U-turns
+	// on a route that usually has some).
+	var m float64
+	for _, x := range vals {
+		if a := abs(x); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		for _, x := range regular {
+			if a := abs(x); a > m {
+				m = a
+			}
+		}
+	}
+	if m == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range vals {
+		sum += abs(vals[i]/m - regular[i]/m)
+	}
+	return w * sum / float64(len(vals))
+}

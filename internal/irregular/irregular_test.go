@@ -1,0 +1,199 @@
+package irregular
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEditDistanceCategorical(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]float64{1, 2}, nil, 2},
+		{nil, []float64{1}, 1},
+		{[]float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		{[]float64{1, 2, 3}, []float64{1, 5, 3}, 1},
+		{[]float64{1, 2}, []float64{1, 2, 3}, 1},
+		{[]float64{1, 1, 1}, []float64{2, 2, 2}, 3},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b, false); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("EditDistance(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceNumeric(t *testing.T) {
+	// Substitution costs |a−b|.
+	got := EditDistance([]float64{0.5}, []float64{0.9}, true)
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("numeric substitution = %v, want 0.4", got)
+	}
+	// Cheap substitutions chain up.
+	got = EditDistance([]float64{0.1, 0.2}, []float64{0.2, 0.3}, true)
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("numeric chain = %v, want 0.2", got)
+	}
+	// A large numeric gap is still capped by indel cost via the DP
+	// (delete+insert = 2 beats substitute 5... substitution |5| vs 2).
+	got = EditDistance([]float64{0}, []float64{5}, true)
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("large gap = %v, want 2 (delete+insert)", got)
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	f := func(a, b []float64) bool {
+		// Clamp to a sane range to keep the test meaningful.
+		for i := range a {
+			a[i] = math.Mod(a[i], 10)
+		}
+		for i := range b {
+			b[i] = math.Mod(b[i], 10)
+		}
+		dn := EditDistance(a, b, true)
+		dc := EditDistance(a, b, false)
+		// Symmetry, non-negativity, bounded by max-cost alignment.
+		return dn >= 0 && dc >= 0 &&
+			math.Abs(dn-EditDistance(b, a, true)) < 1e-9 &&
+			math.Abs(dc-EditDistance(b, a, false)) < 1e-9 &&
+			dc <= float64(len(a)+len(b))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditDistanceIdentityProperty(t *testing.T) {
+	f := func(a []float64) bool {
+		return EditDistance(a, a, true) == 0 && EditDistance(a, a, false) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoutingRateIdenticalRoutes(t *testing.T) {
+	seq := []float64{1, 1, 2, 2}
+	if got := RoutingRate(seq, seq, false, 1); got != 0 {
+		t.Fatalf("identical categorical = %v", got)
+	}
+	if got := RoutingRate(seq, seq, true, 1); got != 0 {
+		t.Fatalf("identical numeric = %v", got)
+	}
+}
+
+func TestRoutingRateCategoricalDifference(t *testing.T) {
+	tp := []float64{1, 1, 1} // highway all the way
+	pr := []float64{6, 6, 6} // popular route uses village roads
+	got := RoutingRate(tp, pr, false, 1)
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("fully different categorical = %v, want 1", got)
+	}
+}
+
+func TestRoutingRateNumericNormalization(t *testing.T) {
+	// Same shape at different scales normalizes to zero distance.
+	tp := []float64{10, 20, 30}
+	pr := []float64{1, 2, 3}
+	if got := RoutingRate(tp, pr, true, 1); math.Abs(got) > 1e-12 {
+		t.Fatalf("proportional sequences = %v, want 0", got)
+	}
+}
+
+func TestRoutingRateLengthMismatch(t *testing.T) {
+	tp := []float64{1, 1, 1, 1}
+	pr := []float64{1, 1}
+	got := RoutingRate(tp, pr, false, 1)
+	// Two deletions over max length 4.
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("rate = %v, want 0.5", got)
+	}
+}
+
+func TestRoutingRateWeightScales(t *testing.T) {
+	tp := []float64{1}
+	pr := []float64{2}
+	r1 := RoutingRate(tp, pr, false, 1)
+	r2 := RoutingRate(tp, pr, false, 2)
+	if math.Abs(r2-2*r1) > 1e-12 {
+		t.Fatalf("weight scaling broken: %v vs %v", r1, r2)
+	}
+}
+
+func TestRoutingRateEmpty(t *testing.T) {
+	if got := RoutingRate(nil, nil, true, 1); got != 0 {
+		t.Fatalf("empty sequences = %v", got)
+	}
+	if got := RoutingRate([]float64{1, 2}, nil, false, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("empty PR = %v, want 1", got)
+	}
+}
+
+func TestMovingRateRegularBehaviour(t *testing.T) {
+	vals := []float64{60, 60}
+	if got := MovingRate(vals, vals, 1); got != 0 {
+		t.Fatalf("regular behaviour rate = %v", got)
+	}
+}
+
+func TestMovingRateDeviation(t *testing.T) {
+	vals := []float64{30, 30}    // travelling at 30
+	regular := []float64{60, 60} // usually 60
+	got := MovingRate(vals, regular, 1)
+	// The normalization constant is the partition max, 30, so each segment
+	// contributes |30/30 − 60/30| = 1.
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("deviation rate = %v, want 1", got)
+	}
+}
+
+func TestMovingRateZeroValsFallsBackToRegularMax(t *testing.T) {
+	vals := []float64{0, 0}    // no U-turns this trip
+	regular := []float64{2, 2} // usually 2
+	got := MovingRate(vals, regular, 1)
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("zero-vals rate = %v, want 1", got)
+	}
+	if got := MovingRate([]float64{0}, []float64{0}, 1); got != 0 {
+		t.Fatalf("all-zero rate = %v", got)
+	}
+}
+
+func TestMovingRateWeightAndEmpty(t *testing.T) {
+	if got := MovingRate(nil, nil, 5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	r1 := MovingRate([]float64{1}, []float64{2}, 1)
+	r3 := MovingRate([]float64{1}, []float64{2}, 3)
+	if math.Abs(r3-3*r1) > 1e-12 {
+		t.Fatalf("weight scaling: %v vs %v", r1, r3)
+	}
+}
+
+func TestMovingRateMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths should panic")
+		}
+	}()
+	MovingRate([]float64{1}, []float64{1, 2}, 1)
+}
+
+func TestMovingRateNonNegativeProperty(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		vals := make([]float64, len(pairs))
+		reg := make([]float64, len(pairs))
+		for i, p := range pairs {
+			vals[i] = math.Mod(math.Abs(p[0]), 100)
+			reg[i] = math.Mod(math.Abs(p[1]), 100)
+		}
+		return MovingRate(vals, reg, 1) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"stmaker/internal/geo"
+)
+
+// benchGrid builds a grid graph without the testing.T plumbing.
+func benchGrid(n int, spacing float64) *Graph {
+	g := &Graph{}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			p := geo.Destination(geo.Destination(testOrigin, 90, float64(c)*spacing), 0, float64(r)*spacing)
+			g.AddNode(p, true)
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			id := NodeID(r*n + c)
+			if c+1 < n {
+				if _, err := g.AddEdge(id, id+1, "h", GradeProvincial, 0, TwoWay, nil); err != nil {
+					panic(err)
+				}
+			}
+			if r+1 < n {
+				if _, err := g.AddEdge(id, NodeID((r+1)*n+c), "v", GradeProvincial, 0, TwoWay, nil); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkShortestPath20x20(b *testing.B) {
+	g := benchGrid(20, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.ShortestPath(0, NodeID(g.NumNodes()-1), ByTravelTime); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNearestEdge(b *testing.B) {
+	g := benchGrid(20, 400)
+	m := NewMatcher(g)
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]geo.Point, 256)
+	for i := range pts {
+		pts[i] = geo.Destination(testOrigin, rng.Float64()*90, rng.Float64()*7000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NearestEdge(pts[i%len(pts)], 150)
+	}
+}
+
+func BenchmarkHMMMatch100Points(b *testing.B) {
+	g := benchGrid(10, 400)
+	h := NewHMMMatcher(g, HMMOptions{})
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]geo.Point, 100)
+	for i := range pts {
+		base := geo.Destination(testOrigin, 90, float64(i)*30)
+		pts[i] = geo.Destination(base, rng.Float64()*360, rng.Float64()*15)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.MatchPoints(pts)
+	}
+}

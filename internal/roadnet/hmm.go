@@ -1,0 +1,236 @@
+package roadnet
+
+import (
+	"math"
+
+	"stmaker/internal/geo"
+)
+
+// HMMOptions configures the hidden-Markov-model map matcher, which follows
+// Newson & Krumm (SIGSPATIAL 2009) — the map-matching approach the paper's
+// related-work section points to for trajectory annotation. States are
+// candidate edges per GPS sample; emissions score perpendicular distance,
+// transitions score the agreement between network distance and
+// great-circle distance; Viterbi decodes the most likely edge sequence.
+type HMMOptions struct {
+	// SigmaMeters is the GPS noise standard deviation (default 15).
+	SigmaMeters float64
+	// BetaMeters scales the transition penalty for route/great-circle
+	// disagreement (default 50).
+	BetaMeters float64
+	// CandidateRadiusMeters bounds the per-sample candidate search
+	// (default 120).
+	CandidateRadiusMeters float64
+	// MaxCandidates caps candidates per sample (default 4).
+	MaxCandidates int
+}
+
+func (o HMMOptions) withDefaults() HMMOptions {
+	if o.SigmaMeters <= 0 {
+		o.SigmaMeters = 15
+	}
+	if o.BetaMeters <= 0 {
+		o.BetaMeters = 50
+	}
+	if o.CandidateRadiusMeters <= 0 {
+		o.CandidateRadiusMeters = 120
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 4
+	}
+	return o
+}
+
+// HMMMatcher decodes the most likely edge sequence of a GPS point series.
+type HMMMatcher struct {
+	g    *Graph
+	m    *Matcher
+	opts HMMOptions
+}
+
+// NewHMMMatcher builds an HMM matcher over the graph.
+func NewHMMMatcher(g *Graph, opts HMMOptions) *HMMMatcher {
+	return &HMMMatcher{g: g, m: NewMatcher(g), opts: opts.withDefaults()}
+}
+
+// candidate is one per-sample state.
+type candidate struct {
+	match    Match
+	emission float64 // log emission probability
+}
+
+// MatchPoints returns, for each input point, the matched edge under the
+// maximum-likelihood joint assignment, or nil entries where no candidate
+// was within range. A break in candidates restarts the chain, as Newson &
+// Krumm prescribe for gaps.
+func (h *HMMMatcher) MatchPoints(points []geo.Point) []*Match {
+	out := make([]*Match, len(points))
+	start := 0
+	for start < len(points) {
+		end := h.decodeRun(points, start, out)
+		if end == start {
+			start++ // unmatchable point: leave nil, move on
+			continue
+		}
+		start = end
+	}
+	return out
+}
+
+// decodeRun Viterbi-decodes the maximal run of consecutive points with
+// candidates beginning at start, fills the output, and returns the index
+// one past the run. It returns start when the first point has no
+// candidates.
+func (h *HMMMatcher) decodeRun(points []geo.Point, start int, out []*Match) int {
+	cands := h.candidates(points[start])
+	if len(cands) == 0 {
+		return start
+	}
+	// Viterbi state: best log-prob to each current candidate, with
+	// backpointers per step.
+	type step struct {
+		cands []candidate
+		back  []int
+	}
+	steps := []step{{cands: cands, back: make([]int, len(cands))}}
+	probs := make([]float64, len(cands))
+	for i, c := range cands {
+		probs[i] = c.emission
+		steps[0].back[i] = -1
+	}
+
+	end := start + 1
+	for ; end < len(points); end++ {
+		next := h.candidates(points[end])
+		if len(next) == 0 {
+			break
+		}
+		prev := steps[len(steps)-1]
+		straight := geo.Distance(points[end-1], points[end])
+		nextProbs := make([]float64, len(next))
+		back := make([]int, len(next))
+		for j, nc := range next {
+			best, bestFrom := math.Inf(-1), -1
+			for i, pc := range prev.cands {
+				trans := h.transition(pc.match, nc.match, straight)
+				if p := probs[i] + trans; p > best {
+					best, bestFrom = p, i
+				}
+			}
+			nextProbs[j] = best + nc.emission
+			back[j] = bestFrom
+		}
+		steps = append(steps, step{cands: next, back: back})
+		probs = nextProbs
+	}
+
+	// Backtrace from the best final state.
+	bestJ := 0
+	for j := range probs {
+		if probs[j] > probs[bestJ] {
+			bestJ = j
+		}
+	}
+	for s := len(steps) - 1; s >= 0; s-- {
+		m := steps[s].cands[bestJ].match
+		out[start+s] = &m
+		bestJ = steps[s].back[bestJ]
+	}
+	return end
+}
+
+// candidates returns the scored candidate edges of one point.
+func (h *HMMMatcher) candidates(p geo.Point) []candidate {
+	hits := h.m.candidateEdges(p, h.opts.CandidateRadiusMeters, h.opts.MaxCandidates)
+	out := make([]candidate, 0, len(hits))
+	for _, m := range hits {
+		// log of the Gaussian emission N(0, sigma) at distance d.
+		z := m.Distance / h.opts.SigmaMeters
+		out = append(out, candidate{match: m, emission: -0.5 * z * z})
+	}
+	return out
+}
+
+// transition returns the log transition probability between consecutive
+// candidates: an exponential penalty on |network distance − straight-line
+// distance| (Newson & Krumm's key observation that correct matches make
+// the two nearly equal).
+func (h *HMMMatcher) transition(a, b Match, straight float64) float64 {
+	network := h.networkDistance(a, b)
+	diff := math.Abs(network - straight)
+	return -diff / h.opts.BetaMeters
+}
+
+// networkDistance approximates driving distance between two on-edge
+// positions: along-edge when both lie on the same edge, otherwise the
+// best combination of residual edge distance plus a node-level shortest
+// path between the edges' endpoints.
+func (h *HMMMatcher) networkDistance(a, b Match) float64 {
+	if a.Edge.ID == b.Edge.ID {
+		return math.Abs(a.Along - b.Along)
+	}
+	best := math.Inf(1)
+	for _, fromEnd := range [2]struct {
+		node NodeID
+		cost float64
+	}{
+		{a.Edge.From, a.Along},
+		{a.Edge.To, a.Edge.Length() - a.Along},
+	} {
+		for _, toEnd := range [2]struct {
+			node NodeID
+			cost float64
+		}{
+			{b.Edge.From, b.Along},
+			{b.Edge.To, b.Edge.Length() - b.Along},
+		} {
+			var mid float64
+			if fromEnd.node != toEnd.node {
+				path, err := h.g.ShortestPath(fromEnd.node, toEnd.node, ByDistance)
+				if err != nil {
+					continue
+				}
+				mid = path.Cost
+			}
+			if total := fromEnd.cost + mid + toEnd.cost; total < best {
+				best = total
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		// Disconnected in the directed graph: fall back to the straight
+		// line so the transition is merely very unlikely, not impossible.
+		return geo.Distance(a.Edge.Geometry[0], b.Edge.Geometry[0])
+	}
+	return best
+}
+
+// candidateEdges returns up to max distinct edges within radius of p,
+// nearest first.
+func (m *Matcher) candidateEdges(p geo.Point, radius float64, max int) []Match {
+	hits := m.ix.Within(p, radius+matchSampleSpacing)
+	seen := make(map[int]bool)
+	var out []Match
+	for _, h := range hits {
+		if seen[h.ID] {
+			continue
+		}
+		seen[h.ID] = true
+		e := m.g.Edge(EdgeID(h.ID))
+		d, seg, t := e.Geometry.NearestPoint(p)
+		if d > radius {
+			continue
+		}
+		out = append(out, Match{Edge: e, Distance: d, Along: e.Geometry.DistanceAlong(seg, t)})
+	}
+	// Insertion sort by distance (candidate lists are tiny).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Distance < out[j-1].Distance; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}

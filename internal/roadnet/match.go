@@ -1,0 +1,86 @@
+package roadnet
+
+import (
+	"math"
+
+	"stmaker/internal/geo"
+	"stmaker/internal/spatial"
+)
+
+// Matcher map-matches GPS points to the nearest road segment. It samples
+// each edge's geometry into a spatial grid index once at construction.
+type Matcher struct {
+	g  *Graph
+	ix *spatial.Index
+}
+
+// matchSampleSpacing is the spacing at which edge geometries are sampled
+// into the index. Candidate edges are then verified with exact
+// point-to-polyline distance, so the spacing only affects recall radius.
+const matchSampleSpacing = 60.0
+
+// NewMatcher builds a matcher for the graph.
+func NewMatcher(g *Graph) *Matcher {
+	refLat := 0.0
+	if g.NumNodes() > 0 {
+		refLat = g.Node(0).Pt.Lat
+	}
+	ix := spatial.NewIndex(matchSampleSpacing*2, refLat)
+	for i := range g.Edges() {
+		e := g.Edge(EdgeID(i))
+		for _, p := range e.Geometry.Resample(matchSampleSpacing) {
+			ix.Insert(i, p)
+		}
+	}
+	return &Matcher{g: g, ix: ix}
+}
+
+// Match describes a GPS point matched onto an edge.
+type Match struct {
+	Edge *Edge
+	// Distance is the point-to-edge distance in metres.
+	Distance float64
+	// Along is the distance in metres from the edge's From endpoint to the
+	// projection of the point onto the edge geometry.
+	Along float64
+}
+
+// NearestEdge returns the edge closest to p within maxDist metres. The
+// boolean is false when no edge qualifies.
+func (m *Matcher) NearestEdge(p geo.Point, maxDist float64) (Match, bool) {
+	hits := m.ix.Within(p, maxDist+matchSampleSpacing)
+	best := Match{Distance: math.Inf(1)}
+	seen := make(map[int]bool)
+	for _, h := range hits {
+		if seen[h.ID] {
+			continue
+		}
+		seen[h.ID] = true
+		e := m.g.Edge(EdgeID(h.ID))
+		d, seg, t := e.Geometry.NearestPoint(p)
+		if d < best.Distance {
+			best = Match{Edge: e, Distance: d, Along: e.Geometry.DistanceAlong(seg, t)}
+		}
+	}
+	if best.Edge == nil || best.Distance > maxDist {
+		return Match{}, false
+	}
+	return best, true
+}
+
+// NearestNode returns the graph node closest to p, or false when the graph
+// is empty. It is a linear scan intended for path endpoints, not per-sample
+// matching.
+func (g *Graph) NearestNode(p geo.Point) (NodeID, bool) {
+	best := NodeID(-1)
+	bestD := math.Inf(1)
+	for _, n := range g.nodes {
+		if d := geo.Distance(p, n.Pt); d < bestD {
+			best, bestD = n.ID, d
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,159 @@
+package roadnet
+
+import (
+	"container/heap"
+	"math"
+)
+
+// WeightFunc assigns a non-negative traversal cost to an arc. The reverse
+// flag is true when a two-way edge is traversed against its stored
+// orientation.
+type WeightFunc func(e *Edge, reverse bool) float64
+
+// ByDistance weights arcs by length in metres.
+func ByDistance(e *Edge, _ bool) float64 { return e.Length() }
+
+// ByTravelTime weights arcs by free-flow travel time in seconds.
+func ByTravelTime(e *Edge, _ bool) float64 { return e.TravelTimeSeconds() }
+
+// PathStep is one arc of a computed path.
+type PathStep struct {
+	Edge    *Edge
+	Reverse bool
+	From    NodeID
+	To      NodeID
+}
+
+// Path is a sequence of arcs from a source to a destination node.
+type Path struct {
+	Steps []PathStep
+	Cost  float64
+}
+
+// NodeIDs returns the node sequence of the path including both endpoints.
+// A nil path returns nil; an empty path (source == destination) returns the
+// single node.
+func (p *Path) NodeIDs(source NodeID) []NodeID {
+	out := []NodeID{source}
+	for _, s := range p.Steps {
+		out = append(out, s.To)
+	}
+	return out
+}
+
+// priority queue for Dijkstra.
+type pqItem struct {
+	node NodeID
+	dist float64
+	idx  int
+}
+
+type pq []*pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
+func (q *pq) Push(x interface{}) { it := x.(*pqItem); it.idx = len(*q); *q = append(*q, it) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath computes the minimum-cost path from src to dst under the
+// given weight function using Dijkstra's algorithm. It returns ErrNoPath if
+// dst is unreachable.
+func (g *Graph) ShortestPath(src, dst NodeID, weight WeightFunc) (*Path, error) {
+	if weight == nil {
+		weight = ByDistance
+	}
+	n := len(g.nodes)
+	if int(src) < 0 || int(src) >= n || int(dst) < 0 || int(dst) >= n {
+		return nil, ErrNoPath
+	}
+	if src == dst {
+		return &Path{}, nil
+	}
+
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	type pred struct {
+		node NodeID
+		arc  arc
+		ok   bool
+	}
+	prev := make([]pred, n)
+	dist[src] = 0
+
+	q := &pq{}
+	heap.Init(q)
+	items := make(map[NodeID]*pqItem, n)
+	start := &pqItem{node: src, dist: 0}
+	heap.Push(q, start)
+	items[src] = start
+
+	done := make([]bool, n)
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(*pqItem)
+		u := cur.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, a := range g.out[u] {
+			e := &g.edges[a.edge]
+			v := e.To
+			if a.reverse {
+				v = e.From
+			}
+			if done[v] {
+				continue
+			}
+			w := weight(e, a.reverse)
+			if w < 0 {
+				w = 0
+			}
+			nd := dist[u] + w
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = pred{node: u, arc: a, ok: true}
+				if it, exists := items[v]; exists && it.idx >= 0 && it.idx < q.Len() && (*q)[it.idx] == it {
+					it.dist = nd
+					heap.Fix(q, it.idx)
+				} else {
+					it := &pqItem{node: v, dist: nd}
+					heap.Push(q, it)
+					items[v] = it
+				}
+			}
+		}
+	}
+
+	if math.IsInf(dist[dst], 1) {
+		return nil, ErrNoPath
+	}
+	// Reconstruct.
+	var rev []PathStep
+	for at := dst; at != src; {
+		p := prev[at]
+		if !p.ok {
+			return nil, ErrNoPath
+		}
+		e := &g.edges[p.arc.edge]
+		rev = append(rev, PathStep{Edge: e, Reverse: p.arc.reverse, From: p.node, To: at})
+		at = p.node
+	}
+	steps := make([]PathStep, len(rev))
+	for i := range rev {
+		steps[i] = rev[len(rev)-1-i]
+	}
+	return &Path{Steps: steps, Cost: dist[dst]}, nil
+}

@@ -1,0 +1,127 @@
+// Package server exposes a trained Summarizer over HTTP, mirroring the
+// online STMaker demo system (Su et al., VLDB 2014): POST a raw trajectory,
+// get its summary back. It backs cmd/stmakerd.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"stmaker"
+	"stmaker/internal/traj"
+)
+
+// Server handles summarization requests against one trained Summarizer.
+// It is safe for concurrent use.
+type Server struct {
+	s   *stmaker.Summarizer
+	mux *http.ServeMux
+}
+
+// New builds a server. The summarizer must already be trained.
+func New(s *stmaker.Summarizer) (*Server, error) {
+	if s == nil || !s.Trained() {
+		return nil, fmt.Errorf("server: summarizer must be trained")
+	}
+	srv := &Server{s: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("/summarize", srv.handleSummarize)
+	srv.mux.HandleFunc("/healthz", srv.handleHealth)
+	return srv, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	srv.mux.ServeHTTP(w, r)
+}
+
+// SummarizeRequest is the POST /summarize body.
+type SummarizeRequest struct {
+	// Trajectory is the raw trajectory to summarize.
+	Trajectory *traj.Raw `json:"trajectory"`
+	// K is the partition count; 0 (default) uses the optimal partition.
+	// It may also be supplied as the ?k= query parameter.
+	K int `json:"k,omitempty"`
+}
+
+// SummarizeResponse is the reply.
+type SummarizeResponse struct {
+	ID    string         `json:"id"`
+	Text  string         `json:"text"`
+	Parts []PartResponse `json:"parts"`
+	Error string         `json:"error,omitempty"`
+}
+
+// PartResponse is one partition of the summary.
+type PartResponse struct {
+	Source   string         `json:"source"`
+	Dest     string         `json:"dest"`
+	RoadType string         `json:"roadType,omitempty"`
+	Text     string         `json:"text"`
+	Features []FeatureEntry `json:"features,omitempty"`
+}
+
+// FeatureEntry is one selected feature.
+type FeatureEntry struct {
+	Key   string  `json:"key"`
+	Rate  float64 `json:"rate"`
+	Value float64 `json:"value"`
+}
+
+func (srv *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (srv *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SummarizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Trajectory == nil {
+		writeError(w, http.StatusBadRequest, "missing trajectory")
+		return
+	}
+	k := req.K
+	if qk := r.URL.Query().Get("k"); qk != "" {
+		parsed, err := strconv.Atoi(qk)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, "invalid k")
+			return
+		}
+		k = parsed
+	}
+	sum, err := srv.s.SummarizeK(req.Trajectory, k)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	resp := SummarizeResponse{ID: sum.TrajectoryID, Text: sum.Text}
+	for _, p := range sum.Parts {
+		pr := PartResponse{
+			Source: p.SourceName, Dest: p.DestName,
+			RoadType: p.RoadType, Text: p.Text,
+		}
+		for _, f := range p.Features {
+			pr.Features = append(pr.Features, FeatureEntry{Key: f.Key, Rate: f.Rate, Value: f.Value})
+		}
+		resp.Parts = append(resp.Parts, pr)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// The header is already out; nothing recoverable remains.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(SummarizeResponse{Error: msg})
+}

@@ -1,0 +1,75 @@
+package simulate
+
+import (
+	"math/rand"
+
+	"stmaker/internal/hits"
+	"stmaker/internal/landmark"
+)
+
+// CheckinOptions configures the LBSN check-in generator.
+type CheckinOptions struct {
+	// Travellers is the number of distinct users (default 200).
+	Travellers int
+	// Visits is the total number of check-ins (default 20× landmarks).
+	Visits int
+	// ZipfS is the skew of landmark popularity (default 1.2); larger means
+	// a heavier head.
+	ZipfS float64
+	// Seed drives all randomness (default 1).
+	Seed int64
+}
+
+func (o CheckinOptions) withDefaults(numLandmarks int) CheckinOptions {
+	if o.Travellers <= 0 {
+		o.Travellers = 200
+	}
+	if o.Visits <= 0 {
+		o.Visits = 20 * numLandmarks
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// GenerateCheckins produces traveller→landmark visits with Zipf-distributed
+// landmark popularity, standing in for the paper's LBSN check-in records.
+// POI landmarks are favoured over turning points by a popularity permutation
+// that puts POIs first.
+func GenerateCheckins(set *landmark.Set, opts CheckinOptions) []hits.Visit {
+	n := set.Len()
+	if n == 0 {
+		return nil
+	}
+	opts = opts.withDefaults(n)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Rank landmarks: POIs first (shuffled), then turning points
+	// (shuffled). The Zipf head then lands mostly on POIs, mirroring how
+	// check-ins concentrate on real points of interest.
+	var pois, turns []int
+	for _, lm := range set.All() {
+		if lm.Kind == landmark.KindPOI {
+			pois = append(pois, lm.ID)
+		} else {
+			turns = append(turns, lm.ID)
+		}
+	}
+	rng.Shuffle(len(pois), func(i, j int) { pois[i], pois[j] = pois[j], pois[i] })
+	rng.Shuffle(len(turns), func(i, j int) { turns[i], turns[j] = turns[j], turns[i] })
+	ranked := append(append([]int{}, pois...), turns...)
+
+	zipf := rand.NewZipf(rng, opts.ZipfS, 1, uint64(n-1))
+	visits := make([]hits.Visit, 0, opts.Visits)
+	for i := 0; i < opts.Visits; i++ {
+		visits = append(visits, hits.Visit{
+			Traveller: rng.Intn(opts.Travellers),
+			Landmark:  ranked[int(zipf.Uint64())],
+		})
+	}
+	return visits
+}

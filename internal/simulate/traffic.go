@@ -1,0 +1,87 @@
+package simulate
+
+// The traffic model drives the time-of-day contrasts the paper's Fig. 8
+// measures: rush hours are congested (slow speeds, frequent stops), the
+// rest of the daytime is busy, and nights are free-flowing. All rates are
+// per simulated trip and reused by the fleet generator.
+
+// CongestionFactor multiplies free-flow speed for the given hour of day
+// (fractional hours allowed). Rush hours 7–9 and 17–19 are most congested;
+// nights flow freely.
+func CongestionFactor(hour float64) float64 {
+	h := normalizeHour(hour)
+	switch {
+	case h >= 7 && h < 9, h >= 17 && h < 19:
+		return 0.45
+	case h >= 6 && h < 7, h >= 9 && h < 17, h >= 19 && h < 21:
+		return 0.72
+	default:
+		return 1.0
+	}
+}
+
+// StayProbability is the chance of a dwell (traffic light queue, short
+// stop) when passing an intersection at the given hour.
+func StayProbability(hour float64) float64 {
+	h := normalizeHour(hour)
+	switch {
+	case h >= 7 && h < 9, h >= 17 && h < 19:
+		return 0.30
+	case h >= 6 && h < 21:
+		return 0.15
+	default:
+		return 0.03
+	}
+}
+
+// DetourProbability is the chance a trip leaves the popular (fastest)
+// route, higher in congestion when drivers dodge traffic.
+func DetourProbability(hour float64) float64 {
+	h := normalizeHour(hour)
+	switch {
+	case h >= 7 && h < 9, h >= 17 && h < 19:
+		return 0.55
+	case h >= 6 && h < 21:
+		return 0.30
+	default:
+		return 0.10
+	}
+}
+
+// UTurnProbability is the chance a trip contains a U-turn, slightly higher
+// in the busy hours (missed turns, blocked streets).
+func UTurnProbability(hour float64) float64 {
+	h := normalizeHour(hour)
+	switch {
+	case h >= 7 && h < 9, h >= 17 && h < 19:
+		return 0.16
+	case h >= 6 && h < 21:
+		return 0.09
+	default:
+		return 0.03
+	}
+}
+
+// OverspeedProbability is the chance of an overspeed burst on some edge,
+// higher at night on empty roads.
+func OverspeedProbability(hour float64) float64 {
+	h := normalizeHour(hour)
+	switch {
+	case h >= 21 || h < 6:
+		return 0.10
+	case h >= 7 && h < 9, h >= 17 && h < 19:
+		return 0.02
+	default:
+		return 0.05
+	}
+}
+
+func normalizeHour(h float64) float64 {
+	for h < 0 {
+		h += 24
+	}
+	for h >= 24 {
+		h -= 24
+	}
+	return h
+}

@@ -1,0 +1,141 @@
+// Package spatial provides a uniform grid index over geographic points for
+// fast nearest-neighbour and radius queries. It is the workhorse behind
+// map-matching, landmark lookup and trajectory calibration.
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"stmaker/internal/geo"
+)
+
+// cellKey identifies a grid cell by integer row/column.
+type cellKey struct {
+	row, col int32
+}
+
+// Index is a uniform grid over lat/lng space. Items are identified by an
+// integer ID and a representative point. The zero value is not usable; use
+// NewIndex.
+type Index struct {
+	cellDeg float64
+	cells   map[cellKey][]entry
+	size    int
+}
+
+type entry struct {
+	id int
+	pt geo.Point
+}
+
+// NewIndex returns an index whose grid cells are approximately cellMeters on
+// a side (measured at the given reference latitude). Typical usage is a
+// 200–500 m cell for a city-scale dataset.
+func NewIndex(cellMeters, refLat float64) *Index {
+	if cellMeters <= 0 {
+		cellMeters = 250
+	}
+	// Degrees of latitude per cell; longitude cells use the same degree
+	// size, which makes them narrower in metres away from the equator —
+	// harmless for the query semantics, which only rely on cells being an
+	// over-approximation grid.
+	deg := cellMeters / geo.EarthRadiusMeters * 180 / math.Pi
+	_ = refLat
+	return &Index{cellDeg: deg, cells: make(map[cellKey][]entry)}
+}
+
+func (ix *Index) key(p geo.Point) cellKey {
+	return cellKey{
+		row: int32(math.Floor(p.Lat / ix.cellDeg)),
+		col: int32(math.Floor(p.Lng / ix.cellDeg)),
+	}
+}
+
+// Insert adds an item with the given id at point p. Multiple items may share
+// an id; the index does not deduplicate.
+func (ix *Index) Insert(id int, p geo.Point) {
+	k := ix.key(p)
+	ix.cells[k] = append(ix.cells[k], entry{id: id, pt: p})
+	ix.size++
+}
+
+// Len returns the number of inserted items.
+func (ix *Index) Len() int { return ix.size }
+
+// Result is a single query hit.
+type Result struct {
+	ID       int
+	Point    geo.Point
+	Distance float64 // metres from the query point
+}
+
+// Within returns all items within radius metres of p, sorted by ascending
+// distance.
+func (ix *Index) Within(p geo.Point, radius float64) []Result {
+	if radius < 0 {
+		return nil
+	}
+	var out []Result
+	ix.scan(p, radius, func(e entry, d float64) {
+		if d <= radius {
+			out = append(out, Result{ID: e.id, Point: e.pt, Distance: d})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out
+}
+
+// Nearest returns the closest item to p within maxRadius metres and true,
+// or a zero Result and false if none exists.
+func (ix *Index) Nearest(p geo.Point, maxRadius float64) (Result, bool) {
+	best := Result{Distance: math.Inf(1)}
+	found := false
+	// Expand the search ring until a hit is found or the radius budget is
+	// exhausted. Starting small keeps the common case cheap.
+	r := ix.cellDeg * geo.EarthRadiusMeters * math.Pi / 180 // one cell in metres
+	for r < maxRadius*2 {
+		ix.scan(p, r, func(e entry, d float64) {
+			if d < best.Distance {
+				best = Result{ID: e.id, Point: e.pt, Distance: d}
+				found = true
+			}
+		})
+		if found && best.Distance <= r {
+			break
+		}
+		r *= 2
+	}
+	if !found || best.Distance > maxRadius {
+		ix.scan(p, maxRadius, func(e entry, d float64) {
+			if d < best.Distance {
+				best = Result{ID: e.id, Point: e.pt, Distance: d}
+				found = true
+			}
+		})
+	}
+	if !found || best.Distance > maxRadius {
+		return Result{}, false
+	}
+	return best, true
+}
+
+// scan visits every entry in cells overlapping the radius around p.
+func (ix *Index) scan(p geo.Point, radius float64, visit func(entry, float64)) {
+	degRadius := radius / geo.EarthRadiusMeters * 180 / math.Pi
+	// Longitude degrees shrink with latitude; widen the column span.
+	cosLat := math.Cos(p.Lat * math.Pi / 180)
+	if cosLat < 0.01 {
+		cosLat = 0.01
+	}
+	rowSpan := int32(math.Ceil(degRadius/ix.cellDeg)) + 1
+	colSpan := int32(math.Ceil(degRadius/(ix.cellDeg*cosLat))) + 1
+	c := ix.key(p)
+	for dr := -rowSpan; dr <= rowSpan; dr++ {
+		for dc := -colSpan; dc <= colSpan; dc++ {
+			for _, e := range ix.cells[cellKey{row: c.row + dr, col: c.col + dc}] {
+				visit(e, geo.Distance(p, e.pt))
+			}
+		}
+	}
+}

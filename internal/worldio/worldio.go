@@ -1,0 +1,143 @@
+// Package worldio persists and restores the external semantic inputs of
+// STMaker — the road network and landmark dataset — and raw trajectory
+// datasets, as JSON. It is the storage layer behind cmd/trajgen and
+// cmd/stmaker, letting a generated world be reused across runs.
+package worldio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"stmaker/internal/geo"
+	"stmaker/internal/landmark"
+	"stmaker/internal/roadnet"
+	"stmaker/internal/traj"
+)
+
+// FormatVersion identifies the on-disk schema.
+const FormatVersion = 1
+
+// worldFile is the serialized world.
+type worldFile struct {
+	Version   int            `json:"version"`
+	Nodes     []nodeJSON     `json:"nodes"`
+	Edges     []edgeJSON     `json:"edges"`
+	Landmarks []landmarkJSON `json:"landmarks"`
+}
+
+type nodeJSON struct {
+	Lat          float64 `json:"lat"`
+	Lng          float64 `json:"lng"`
+	TurningPoint bool    `json:"turningPoint,omitempty"`
+}
+
+type edgeJSON struct {
+	From      int          `json:"from"`
+	To        int          `json:"to"`
+	Name      string       `json:"name,omitempty"`
+	Grade     int          `json:"grade"`
+	Width     float64      `json:"width"`
+	Direction int          `json:"direction"`
+	Speed     float64      `json:"speedKmh,omitempty"`
+	Geometry  [][2]float64 `json:"geometry,omitempty"`
+}
+
+type landmarkJSON struct {
+	Name         string  `json:"name"`
+	Lat          float64 `json:"lat"`
+	Lng          float64 `json:"lng"`
+	Kind         int     `json:"kind"`
+	Significance float64 `json:"significance"`
+}
+
+// SaveWorld writes the road network and landmark set as JSON.
+func SaveWorld(w io.Writer, g *roadnet.Graph, lms *landmark.Set) error {
+	wf := worldFile{Version: FormatVersion}
+	for _, n := range g.Nodes() {
+		wf.Nodes = append(wf.Nodes, nodeJSON{Lat: n.Pt.Lat, Lng: n.Pt.Lng, TurningPoint: n.TurningPoint})
+	}
+	for i := range g.Edges() {
+		e := g.Edge(roadnet.EdgeID(i))
+		ej := edgeJSON{
+			From: int(e.From), To: int(e.To), Name: e.Name,
+			Grade: int(e.Grade), Width: e.Width, Direction: int(e.Direction),
+			Speed: e.SpeedLimitKmh,
+		}
+		for _, p := range e.Geometry {
+			ej.Geometry = append(ej.Geometry, [2]float64{p.Lat, p.Lng})
+		}
+		wf.Edges = append(wf.Edges, ej)
+	}
+	for _, lm := range lms.All() {
+		wf.Landmarks = append(wf.Landmarks, landmarkJSON{
+			Name: lm.Name, Lat: lm.Pt.Lat, Lng: lm.Pt.Lng,
+			Kind: int(lm.Kind), Significance: lm.Significance,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(wf)
+}
+
+// LoadWorld reads a world written by SaveWorld.
+func LoadWorld(r io.Reader) (*roadnet.Graph, *landmark.Set, error) {
+	var wf worldFile
+	if err := json.NewDecoder(r).Decode(&wf); err != nil {
+		return nil, nil, fmt.Errorf("worldio: decode world: %w", err)
+	}
+	if wf.Version != FormatVersion {
+		return nil, nil, fmt.Errorf("worldio: unsupported world version %d", wf.Version)
+	}
+	g := &roadnet.Graph{}
+	for _, n := range wf.Nodes {
+		g.AddNode(geo.Point{Lat: n.Lat, Lng: n.Lng}, n.TurningPoint)
+	}
+	for i, e := range wf.Edges {
+		var geom geo.Polyline
+		for _, p := range e.Geometry {
+			geom = append(geom, geo.Point{Lat: p[0], Lng: p[1]})
+		}
+		id, err := g.AddEdge(roadnet.NodeID(e.From), roadnet.NodeID(e.To), e.Name,
+			roadnet.Grade(e.Grade), e.Width, roadnet.Direction(e.Direction), geom)
+		if err != nil {
+			return nil, nil, fmt.Errorf("worldio: edge %d: %w", i, err)
+		}
+		g.Edge(id).SpeedLimitKmh = e.Speed
+	}
+	lms := make([]landmark.Landmark, 0, len(wf.Landmarks))
+	for _, lm := range wf.Landmarks {
+		lms = append(lms, landmark.Landmark{
+			Name: lm.Name, Pt: geo.Point{Lat: lm.Lat, Lng: lm.Lng},
+			Kind: landmark.Kind(lm.Kind), Significance: lm.Significance,
+		})
+	}
+	return g, landmark.NewSet(lms), nil
+}
+
+// tripsFile is the serialized trajectory dataset.
+type tripsFile struct {
+	Version int         `json:"version"`
+	Trips   []*traj.Raw `json:"trips"`
+}
+
+// SaveTrips writes raw trajectories as JSON.
+func SaveTrips(w io.Writer, trips []*traj.Raw) error {
+	return json.NewEncoder(w).Encode(tripsFile{Version: FormatVersion, Trips: trips})
+}
+
+// LoadTrips reads trajectories written by SaveTrips, validating each.
+func LoadTrips(r io.Reader) ([]*traj.Raw, error) {
+	var tf tripsFile
+	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+		return nil, fmt.Errorf("worldio: decode trips: %w", err)
+	}
+	if tf.Version != FormatVersion {
+		return nil, fmt.Errorf("worldio: unsupported trips version %d", tf.Version)
+	}
+	for _, t := range tf.Trips {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("worldio: %w", err)
+		}
+	}
+	return tf.Trips, nil
+}

@@ -1,0 +1,364 @@
+// Package stmaker is a Go implementation of STMaker, the
+// partition-and-summarization system of Su et al., "Making Sense of
+// Trajectory Data: A Partition-and-Summarization Approach" (ICDE 2015).
+//
+// Given a raw GPS trajectory and external semantic information — a road
+// network, a landmark dataset and a corpus of historical trajectories —
+// STMaker automatically generates a short text describing the trajectory's
+// most unusual travel behaviours:
+//
+//	The car started from the Daoxiang Community to the Suzhoujie Station
+//	with two staying points (in total for about 167 seconds). Then it
+//	moved from the Suzhoujie Station to the Haidian Hospital with
+//	conducting one U-turn at the Zhichun Road.
+//
+// The pipeline follows the paper's four steps: (1) rewrite the raw
+// trajectory into a landmark-based symbolic trajectory; (2) split it into
+// partitions by minimizing a CRF potential that balances landmark
+// significance against feature homogeneity; (3) select each partition's
+// most irregular features by comparing against historical behaviour; and
+// (4) realize the selected features through phrase and sentence templates.
+//
+// The central type is Summarizer. Construct one with New over a road
+// network and landmark set, feed it a training corpus with Train, then
+// call Summarize (or SummarizeK for a chosen granularity) on trajectories.
+package stmaker
+
+import (
+	"errors"
+	"fmt"
+
+	"stmaker/internal/calibrate"
+	"stmaker/internal/feature"
+	"stmaker/internal/history"
+	"stmaker/internal/irregular"
+	"stmaker/internal/landmark"
+	"stmaker/internal/partition"
+	"stmaker/internal/roadnet"
+	"stmaker/internal/summarize"
+	"stmaker/internal/traj"
+)
+
+// ErrNotTrained is returned by Summarize before a training corpus has been
+// provided; feature selection needs historical knowledge.
+var ErrNotTrained = errors.New("stmaker: summarizer has no historical corpus; call Train first")
+
+// Config configures a Summarizer. Graph and Landmarks are required; every
+// other field has a sensible default matching the paper's experimental
+// settings (§VII-B).
+type Config struct {
+	// Graph is the road network providing routing features.
+	Graph *roadnet.Graph
+	// Landmarks is the landmark dataset with significance scores.
+	Landmarks *landmark.Set
+
+	// CalibrationRadiusMeters is the anchor radius for rewriting raw
+	// trajectories into symbolic ones (default 100).
+	CalibrationRadiusMeters float64
+	// MinAnchorSpacingMeters thins dense anchors: co-located landmarks
+	// (e.g. a POI cluster centre on an intersection) otherwise create
+	// degenerate zero-length segments. Default 50; negative disables
+	// thinning.
+	MinAnchorSpacingMeters float64
+	// Ca weights landmark significance in the partition potential
+	// (default 0.5, the paper's setting).
+	Ca float64
+	// Threshold is the irregular-rate threshold η above which a feature is
+	// described (default 0.2, the paper's setting).
+	Threshold float64
+	// Weights are the user-specified per-feature weights w_f (§IV-B);
+	// missing features default to 1.
+	Weights feature.Weights
+	// K fixes the summary granularity to exactly K partitions; 0 uses the
+	// globally optimal (unconstrained) partition, STMaker's default.
+	K int
+	// GlobalMeanFallback substitutes the corpus-wide feature mean when the
+	// historical feature map lacks a transition (default true via New).
+	GlobalMeanFallback *bool
+	// UseHMMMatching switches routing-feature extraction from greedy
+	// nearest-edge map matching to HMM (Viterbi) matching — slower but
+	// robust to GPS noise near parallel roads.
+	UseHMMMatching bool
+}
+
+// TrainStats reports what Train managed to use.
+type TrainStats struct {
+	// Calibrated is the number of corpus trajectories successfully
+	// rewritten into symbolic trajectories and learned from.
+	Calibrated int
+	// Skipped is the number dropped (too short, off the landmark grid, or
+	// structurally invalid).
+	Skipped int
+	// Transitions is the number of distinct landmark transitions in the
+	// historical feature map afterwards.
+	Transitions int
+}
+
+// Summarizer is the end-to-end STMaker pipeline. It is safe for concurrent
+// Summarize calls after training; RegisterFeature and Train must happen
+// before concurrent use begins.
+type Summarizer struct {
+	cfg        Config
+	registry   *feature.Registry
+	ctx        *feature.Context
+	calibrator *calibrate.Calibrator
+	templates  *summarize.TemplateSet
+	fallback   bool
+
+	popular *history.Popular
+	featMap *history.FeatureMap
+	trained bool
+}
+
+// New builds a Summarizer with the paper's six default features.
+func New(cfg Config) (*Summarizer, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("stmaker: Config.Graph is required")
+	}
+	if cfg.Landmarks == nil || cfg.Landmarks.Len() < 2 {
+		return nil, errors.New("stmaker: Config.Landmarks must hold at least 2 landmarks")
+	}
+	if cfg.CalibrationRadiusMeters == 0 {
+		cfg.CalibrationRadiusMeters = 100
+	}
+	switch {
+	case cfg.MinAnchorSpacingMeters == 0:
+		cfg.MinAnchorSpacingMeters = 50
+	case cfg.MinAnchorSpacingMeters < 0:
+		cfg.MinAnchorSpacingMeters = 0
+	}
+	if cfg.Ca == 0 {
+		cfg.Ca = partition.DefaultCa
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = irregular.DefaultThreshold
+	}
+	fallback := true
+	if cfg.GlobalMeanFallback != nil {
+		fallback = *cfg.GlobalMeanFallback
+	}
+	reg := feature.NewDefaultRegistry()
+	ctx := feature.NewContext(cfg.Graph, roadnet.NewMatcher(cfg.Graph), cfg.Landmarks)
+	if cfg.UseHMMMatching {
+		ctx.HMM = roadnet.NewHMMMatcher(cfg.Graph, roadnet.HMMOptions{})
+	}
+	s := &Summarizer{
+		cfg:      cfg,
+		registry: reg,
+		ctx:      ctx,
+		calibrator: calibrate.New(cfg.Landmarks, calibrate.Options{
+			RadiusMeters:     cfg.CalibrationRadiusMeters,
+			MinSpacingMeters: cfg.MinAnchorSpacingMeters,
+		}),
+		templates: summarize.DefaultTemplates(),
+		fallback:  fallback,
+	}
+	return s, nil
+}
+
+// Registry exposes the feature registry (read-mostly; use RegisterFeature
+// to extend it).
+func (s *Summarizer) Registry() *feature.Registry { return s.registry }
+
+// Templates exposes the template set for customization.
+func (s *Summarizer) Templates() *summarize.TemplateSet { return s.templates }
+
+// RegisterFeature installs a custom feature with its phrase template
+// (§VI-B). It must be called before Train, since the historical feature
+// map's dimensionality is fixed at training time.
+func (s *Summarizer) RegisterFeature(e feature.Extractor, clause summarize.ClauseRenderer) error {
+	if s.trained {
+		return errors.New("stmaker: RegisterFeature must be called before Train")
+	}
+	if clause != nil {
+		// Validate the clause before touching the registry so a failure
+		// leaves no partial registration; SetClause overwrites any default
+		// template for the same key.
+		if err := s.templates.SetClause(e.Descriptor().Key, clause); err != nil {
+			return err
+		}
+	}
+	return s.registry.Register(e)
+}
+
+// Calibrate rewrites a raw trajectory into its symbolic form against the
+// configured landmark set (§II-A).
+func (s *Summarizer) Calibrate(r *traj.Raw) (*traj.Symbolic, error) {
+	return s.calibrator.Calibrate(r)
+}
+
+// Train learns the historical knowledge (§V) from a corpus of raw
+// trajectories: the popular-route statistics and the per-transition
+// historical feature map. Train may be called again to retrain on a new
+// corpus; knowledge is replaced, not merged.
+func (s *Summarizer) Train(corpus []*traj.Raw) (TrainStats, error) {
+	symbolic := make([]*traj.Symbolic, 0, len(corpus))
+	var stats TrainStats
+	for _, r := range corpus {
+		sym, err := s.calibrator.Calibrate(r)
+		if err != nil {
+			stats.Skipped++
+			continue
+		}
+		symbolic = append(symbolic, sym)
+		stats.Calibrated++
+	}
+	if len(symbolic) == 0 {
+		return stats, errors.New("stmaker: no corpus trajectory could be calibrated")
+	}
+	s.TrainSymbolic(symbolic)
+	stats.Transitions = s.featMap.NumEdges()
+	return stats, nil
+}
+
+// TrainSymbolic learns from pre-calibrated trajectories.
+func (s *Summarizer) TrainSymbolic(corpus []*traj.Symbolic) {
+	s.popular = history.BuildPopular(corpus)
+	s.featMap = history.BuildFeatureMap(corpus, s.registry, s.ctx)
+	s.trained = true
+}
+
+// Trained reports whether historical knowledge is available.
+func (s *Summarizer) Trained() bool { return s.trained }
+
+// Popular exposes the trained popular-route knowledge (nil before Train).
+func (s *Summarizer) Popular() *history.Popular { return s.popular }
+
+// FeatureMap exposes the trained historical feature map (nil before
+// Train).
+func (s *Summarizer) FeatureMap() *history.FeatureMap { return s.featMap }
+
+// WithWeights returns a summarizer that shares this one's map resources
+// and trained knowledge but applies different feature weights — the cheap
+// way to sweep w_f (Fig. 10a) without retraining.
+func (s *Summarizer) WithWeights(w feature.Weights) *Summarizer {
+	clone := *s
+	clone.cfg.Weights = w
+	return &clone
+}
+
+// WithThreshold returns a summarizer sharing trained knowledge with a
+// different irregular-rate threshold η.
+func (s *Summarizer) WithThreshold(eta float64) *Summarizer {
+	clone := *s
+	clone.cfg.Threshold = eta
+	return &clone
+}
+
+// FlattenHistoryForAblation collapses the historical feature map so every
+// known transition carries the corpus-wide global regular vector, removing
+// the per-edge knowledge of §V-B. It exists for the ablation benches that
+// quantify the value of the historical feature map.
+func (s *Summarizer) FlattenHistoryForAblation() {
+	if s.featMap != nil {
+		s.featMap = s.featMap.Flattened()
+	}
+}
+
+// Summarize generates the summary of a raw trajectory at the configured
+// granularity (Config.K, defaulting to the optimal partition).
+func (s *Summarizer) Summarize(r *traj.Raw) (*summarize.Summary, error) {
+	return s.SummarizeK(r, s.cfg.K)
+}
+
+// SummarizeK generates the summary with exactly k partitions (clamped to
+// the number of trajectory segments); k <= 0 uses the optimal partition.
+func (s *Summarizer) SummarizeK(r *traj.Raw, k int) (*summarize.Summary, error) {
+	sym, err := s.calibrator.Calibrate(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.SummarizeSymbolic(sym, k)
+}
+
+// SummarizeSymbolic runs partitioning, feature selection and template
+// realization on an already-calibrated trajectory.
+func (s *Summarizer) SummarizeSymbolic(sym *traj.Symbolic, k int) (*summarize.Summary, error) {
+	if !s.trained {
+		return nil, ErrNotTrained
+	}
+	n := sym.NumSegments()
+	if n == 0 {
+		return nil, traj.ErrNotCalibrated
+	}
+
+	matrix := s.registry.ExtractAll(sym, s.ctx)
+	res, err := s.partitionTrajectory(sym, matrix, k)
+	if err != nil {
+		return nil, err
+	}
+
+	selector := &summarize.Selector{
+		Registry:           s.registry,
+		Ctx:                s.ctx,
+		Popular:            s.popular,
+		FeatureMap:         s.featMap,
+		Landmarks:          s.cfg.Landmarks,
+		Weights:            s.cfg.Weights,
+		Threshold:          s.cfg.Threshold,
+		GlobalMeanFallback: s.fallback,
+	}
+
+	summary := &summarize.Summary{TrajectoryID: sym.ID}
+	for _, part := range res.Parts {
+		ps := summarize.PartSummary{
+			Part:   part,
+			Source: sym.Visits[part.FirstSeg].Landmark,
+			Dest:   sym.Visits[part.LastSeg+1].Landmark,
+		}
+		ps.SourceName = s.cfg.Landmarks.Get(ps.Source).Name
+		ps.DestName = s.cfg.Landmarks.Get(ps.Dest).Name
+		if g, name, ok := summarize.RoadForPart(s.ctx, sym, part); ok {
+			ps.RoadType = g.String()
+			ps.RoadName = name
+		}
+		ps.Features = selector.SelectForPart(sym, part, matrix)
+		summary.Parts = append(summary.Parts, ps)
+	}
+	s.templates.RenderSummary(summary)
+	return summary, nil
+}
+
+// Partition exposes the partition step on its own: it calibrates nothing
+// and selects nothing, returning the optimal (k <= 0) or exact-k partition
+// of the symbolic trajectory.
+func (s *Summarizer) Partition(sym *traj.Symbolic, k int) (partition.Result, error) {
+	matrix := s.registry.ExtractAll(sym, s.ctx)
+	return s.partitionTrajectory(sym, matrix, k)
+}
+
+func (s *Summarizer) partitionTrajectory(sym *traj.Symbolic, matrix []feature.Vector, k int) (partition.Result, error) {
+	n := sym.NumSegments()
+	norm := feature.NormalizeByMax(matrix)
+	in := partition.Input{
+		Features:     make([][]float64, n),
+		Significance: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		in.Features[i] = norm[i]
+		// Significance[i] is li.s for the landmark between segments i-1
+		// and i (unused at i = 0).
+		in.Significance[i] = s.cfg.Landmarks.Get(sym.Visits[i].Landmark).Significance
+	}
+	opts := partition.Options{Ca: s.cfg.Ca, Weights: s.cfg.Weights.VectorFor(s.registry)}
+	if k <= 0 {
+		return partition.Optimal(in, opts)
+	}
+	if k > n {
+		k = n
+	}
+	return partition.KPartition(in, k, opts)
+}
+
+// Describe returns a short multi-line report of a summary, convenient for
+// CLI output: the text followed by the selected features per partition.
+func Describe(sum *summarize.Summary) string {
+	out := sum.Text
+	for i, p := range sum.Parts {
+		out += fmt.Sprintf("\n  partition %d: segments %d..%d", i+1, p.Part.FirstSeg, p.Part.LastSeg)
+		for _, f := range p.Features {
+			out += fmt.Sprintf("\n    %-7s Γ=%.2f value=%.1f", f.Key, f.Rate, f.Value)
+		}
+	}
+	return out
+}

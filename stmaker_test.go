@@ -1,0 +1,429 @@
+package stmaker
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stmaker/internal/feature"
+	"stmaker/internal/geo"
+	"stmaker/internal/hits"
+	"stmaker/internal/simulate"
+	"stmaker/internal/summarize"
+	"stmaker/internal/traj"
+)
+
+// newWorld builds a small simulated city and a summarizer trained on a
+// calm corpus, shared by the integration tests.
+func newWorld(t testing.TB, cfgMut func(*Config)) (*simulate.City, *Summarizer) {
+	t.Helper()
+	city := simulate.NewCity(simulate.CityOptions{Rows: 8, Cols: 8, BlockMeters: 500, Seed: 21})
+	visits := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 22})
+	city.Landmarks.InferSignificance(200, visits, hits.Options{})
+
+	cfg := Config{Graph: city.Graph, Landmarks: city.Landmarks}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: 120, Seed: 23, FixedHour: -1, Calm: true,
+	})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	stats, err := s.Train(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Calibrated < len(corpus)/2 {
+		t.Fatalf("only %d/%d corpus trips calibrated", stats.Calibrated, len(corpus))
+	}
+	if stats.Transitions == 0 {
+		t.Fatal("empty historical feature map")
+	}
+	return city, s
+}
+
+func eventfulTrip(t testing.TB, city *simulate.City, seed int64) *simulate.Trip {
+	t.Helper()
+	trips := simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: 40, Seed: seed, FixedHour: 8,
+	})
+	for _, tr := range trips {
+		if len(tr.Truth) > 0 {
+			return tr
+		}
+	}
+	t.Fatal("no eventful trip generated")
+	return nil
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	city := simulate.NewCity(simulate.CityOptions{Rows: 4, Cols: 4, Seed: 1})
+	if _, err := New(Config{Graph: city.Graph}); err == nil {
+		t.Error("nil landmarks accepted")
+	}
+}
+
+func TestSummarizeEndToEnd(t *testing.T) {
+	city, s := newWorld(t, nil)
+	trip := eventfulTrip(t, city, 31)
+	sum, err := s.Summarize(trip.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TrajectoryID != trip.Raw.ID {
+		t.Errorf("summary id = %q", sum.TrajectoryID)
+	}
+	if !strings.HasPrefix(sum.Text, "The car started from ") {
+		t.Errorf("summary text = %q", sum.Text)
+	}
+	if !strings.HasSuffix(sum.Text, ".") {
+		t.Errorf("summary must end with a period: %q", sum.Text)
+	}
+	if len(sum.Parts) == 0 {
+		t.Fatal("no partitions")
+	}
+	// Partitions chain: each part's Dest is the next part's Source.
+	for i := 1; i < len(sum.Parts); i++ {
+		if sum.Parts[i-1].Dest != sum.Parts[i].Source {
+			t.Fatalf("partition endpoints do not chain: %+v", sum.Parts)
+		}
+	}
+	// The summary is dramatically smaller than the raw trajectory — the
+	// paper's data-volume motivation.
+	if len(sum.Text) > 40*len(trip.Raw.Samples) && len(trip.Raw.Samples) > 50 {
+		t.Errorf("summary suspiciously long: %d chars for %d samples", len(sum.Text), len(trip.Raw.Samples))
+	}
+}
+
+func TestSummarizeRequiresTraining(t *testing.T) {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 6, Cols: 6, Seed: 3})
+	s, err := New(Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 5, Seed: 4, FixedHour: 10})
+	if _, err := s.Summarize(trips[0].Raw); err != ErrNotTrained {
+		t.Fatalf("err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestSummarizeKGranularity(t *testing.T) {
+	city, s := newWorld(t, nil)
+	trip := eventfulTrip(t, city, 37)
+	sym, err := s.Calibrate(trip.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxK := sym.NumSegments()
+	for k := 1; k <= 3 && k <= maxK; k++ {
+		sum, err := s.SummarizeK(trip.Raw, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(sum.Parts) != k {
+			t.Fatalf("k=%d produced %d parts", k, len(sum.Parts))
+		}
+	}
+	// k beyond the segment count clamps instead of failing.
+	sum, err := s.SummarizeK(trip.Raw, maxK+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Parts) != maxK {
+		t.Fatalf("clamped k produced %d parts, want %d", len(sum.Parts), maxK)
+	}
+}
+
+func TestSummarizeInvalidTrajectory(t *testing.T) {
+	_, s := newWorld(t, nil)
+	bad := &traj.Raw{ID: "bad", Samples: []traj.Sample{
+		{Pt: geo.Point{Lat: 39.8, Lng: 116.25}, T: time.Now()},
+	}}
+	if _, err := s.Summarize(bad); err == nil {
+		t.Fatal("single-sample trajectory accepted")
+	}
+}
+
+func TestCustomFeatureEndToEnd(t *testing.T) {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 8, Cols: 8, BlockMeters: 500, Seed: 21})
+	visits := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 22})
+	city.Landmarks.InferSignificance(200, visits, hits.Options{})
+	s, err := New(Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterFeature(feature.NewSpeedChange(), nil); err != nil {
+		t.Fatal(err) // SpeC has a default clause in the template set
+	}
+	if s.Registry().Len() != 7 {
+		t.Fatalf("registry len = %d", s.Registry().Len())
+	}
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 80, Seed: 23, FixedHour: -1, Calm: true})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		t.Fatal(err)
+	}
+	// Registration after training is rejected.
+	if err := s.RegisterFeature(dummyFeature{}, nil); err == nil {
+		t.Fatal("post-train registration accepted")
+	}
+	trip := eventfulTrip(t, city, 41)
+	if _, err := s.Summarize(trip.Raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type dummyFeature struct{}
+
+func (dummyFeature) Descriptor() feature.Descriptor {
+	return feature.Descriptor{Key: "Dummy", Name: "dummy", Class: feature.Moving, Numeric: true}
+}
+func (dummyFeature) Extract(traj.Segment, *feature.Context) float64 { return 0 }
+
+func TestEventsSurfaceInSummaries(t *testing.T) {
+	city, s := newWorld(t, nil)
+	trips := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 120, Seed: 53, FixedHour: 8})
+	var stayTrips, stayMentioned int
+	for _, tr := range trips {
+		if !tr.HasEvent(simulate.EventStay) {
+			continue
+		}
+		stayTrips++
+		// k=3 granularity, as in the paper's presentation examples; the
+		// coarse optimal partition dilutes short events over long trips.
+		sum, err := s.SummarizeK(tr.Raw, 3)
+		if err != nil {
+			continue
+		}
+		if sum.MentionsFeature(feature.KeyStayPoints) {
+			stayMentioned++
+		}
+	}
+	if stayTrips == 0 {
+		t.Skip("no stay trips generated")
+	}
+	// The summarizer should surface stays in a solid majority of trips
+	// whose ground truth contains them.
+	if float64(stayMentioned) < 0.5*float64(stayTrips) {
+		t.Fatalf("stays mentioned in %d/%d trips", stayMentioned, stayTrips)
+	}
+}
+
+func TestCalmTripsSummarizeSmoothly(t *testing.T) {
+	city, s := newWorld(t, nil)
+	// Calm night trips on the training distribution: most should select
+	// few or no features.
+	trips := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 30, Seed: 61, FixedHour: 2, Calm: true})
+	var smooth, total int
+	for _, tr := range trips {
+		sum, err := s.Summarize(tr.Raw)
+		if err != nil {
+			continue
+		}
+		total++
+		if len(sum.FeatureKeys()) <= 2 {
+			smooth++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no summaries produced")
+	}
+	if float64(smooth) < 0.5*float64(total) {
+		t.Fatalf("only %d/%d calm trips were near-smooth", smooth, total)
+	}
+}
+
+func TestPartitionExposed(t *testing.T) {
+	city, s := newWorld(t, nil)
+	trip := eventfulTrip(t, city, 71)
+	sym, err := s.Calibrate(trip.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Partition(sym, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 2 {
+		t.Fatalf("parts = %d", len(res.Parts))
+	}
+	opt, err := s.Partition(sym, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Energy > res.Energy+1e-9 {
+		t.Fatalf("optimal energy %v worse than k=2 energy %v", opt.Energy, res.Energy)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	sum := &summarize.Summary{
+		Text: "The car moved smoothly.",
+		Parts: []summarize.PartSummary{{
+			Features: []summarize.SelectedFeature{{Key: "Spe", Rate: 0.4, Value: 30}},
+		}},
+	}
+	out := Describe(sum)
+	if !strings.Contains(out, "The car moved smoothly.") || !strings.Contains(out, "Spe") {
+		t.Fatalf("Describe = %q", out)
+	}
+}
+
+func TestConcurrentSummarize(t *testing.T) {
+	city, s := newWorld(t, nil)
+	trips := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 16, Seed: 91, FixedHour: 9})
+	var wg sync.WaitGroup
+	errs := make(chan error, len(trips)*4)
+	for round := 0; round < 4; round++ {
+		for _, tr := range trips {
+			wg.Add(1)
+			go func(r *traj.Raw) {
+				defer wg.Done()
+				if _, err := s.Summarize(r); err != nil {
+					errs <- err
+				}
+			}(tr.Raw)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeWithHMMMatching(t *testing.T) {
+	city, s := newWorld(t, func(c *Config) { c.UseHMMMatching = true })
+	trip := eventfulTrip(t, city, 97)
+	sum, err := s.SummarizeK(trip.Raw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Parts) != 2 || sum.Text == "" {
+		t.Fatalf("HMM summary = %+v", sum)
+	}
+	// Road types must still resolve under HMM matching.
+	for _, p := range sum.Parts {
+		if p.RoadType == "" {
+			t.Fatalf("partition lost its road type under HMM matching: %+v", p)
+		}
+	}
+}
+
+func TestAccessorsAndClones(t *testing.T) {
+	city, s := newWorld(t, nil)
+	if !s.Trained() {
+		t.Fatal("Trained should be true")
+	}
+	if s.Popular() == nil || s.FeatureMap() == nil {
+		t.Fatal("trained knowledge accessors returned nil")
+	}
+	if s.Templates() == nil {
+		t.Fatal("Templates returned nil")
+	}
+
+	trip := eventfulTrip(t, city, 63)
+	base, err := s.SummarizeK(trip.Raw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// WithWeights shares trained knowledge; a huge speed weight must not
+	// reduce what is selected.
+	boosted := s.WithWeights(feature.Weights{feature.KeySpeed: 5})
+	if !boosted.Trained() {
+		t.Fatal("clone lost training")
+	}
+	bsum, err := boosted.SummarizeK(trip.Raw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bsum.MentionsFeature(feature.KeySpeed) && base.MentionsFeature(feature.KeySpeed) {
+		t.Fatal("boosted weights dropped the speed feature")
+	}
+
+	// WithThreshold at an absurdly high η selects nothing.
+	strict := s.WithThreshold(50)
+	ssum, err := strict.SummarizeK(trip.Raw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys := ssum.FeatureKeys(); len(keys) != 0 {
+		t.Fatalf("strict threshold still selected %v", keys)
+	}
+	// The original summarizer is unaffected by the clones.
+	again, err := s.SummarizeK(trip.Raw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Text != base.Text {
+		t.Fatal("clone mutated the original summarizer")
+	}
+}
+
+func TestFlattenHistoryForAblationOnSummarizer(t *testing.T) {
+	_, s := newWorld(t, nil)
+	before := s.FeatureMap().NumEdges()
+	s.FlattenHistoryForAblation()
+	if s.FeatureMap().NumEdges() != before {
+		t.Fatal("flattening changed the edge set")
+	}
+	// Every transition now carries the identical regular vector.
+	var first []float64
+	count := 0
+	for a := 0; a < 50 && count < 3; a++ {
+		for b := 0; b < 50 && count < 3; b++ {
+			r, ok := s.FeatureMap().Regular(a, b)
+			if !ok {
+				continue
+			}
+			if first == nil {
+				first = r
+			} else {
+				for j := range r {
+					if r[j] != first[j] {
+						t.Fatalf("flattened regulars differ: %v vs %v", r, first)
+					}
+				}
+			}
+			count++
+		}
+	}
+	if count < 2 {
+		t.Skip("not enough transitions found to compare")
+	}
+}
+
+func TestTrainEmptyAndHopelessCorpus(t *testing.T) {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 6, Cols: 6, Seed: 3})
+	s, err := New(Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Train(nil); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	// A corpus of structurally invalid trajectories is all skipped.
+	bad := []*traj.Raw{{ID: "x"}, {ID: "y"}}
+	stats, err := s.Train(bad)
+	if err == nil {
+		t.Error("hopeless corpus accepted")
+	}
+	if stats.Skipped != 2 || stats.Calibrated != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,16 @@
+# Tier-1 gate: every change must keep `make check` green.
+.PHONY: check build vet test bench
+
+check: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...

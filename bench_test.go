@@ -419,14 +419,17 @@ func BenchmarkCalibrate(b *testing.B) {
 	}
 }
 
-// BenchmarkTrain times training over the benchmark corpus.
-func BenchmarkTrain(b *testing.B) {
+// benchTrain times training over the benchmark corpus with the given
+// worker count (0 = GOMAXPROCS, the default; 1 = serial baseline).
+func benchTrain(b *testing.B, workers int) {
 	w := world(b)
 	corpus := make([]*traj.Raw, 0, len(w.Train))
 	for _, tr := range w.Train {
 		corpus = append(corpus, tr.Raw)
 	}
-	s, err := stmaker.New(stmaker.Config{Graph: w.City.Graph, Landmarks: w.City.Landmarks})
+	s, err := stmaker.New(stmaker.Config{
+		Graph: w.City.Graph, Landmarks: w.City.Landmarks, TrainWorkers: workers,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -437,6 +440,15 @@ func BenchmarkTrain(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTrain times training with parallel corpus calibration (the
+// default: GOMAXPROCS workers). Compare against BenchmarkTrainSerial to
+// see the speedup; on a multi-core machine the parallel path wins by
+// roughly the core count, since calibration dominates training time.
+func BenchmarkTrain(b *testing.B) { benchTrain(b, 0) }
+
+// BenchmarkTrainSerial is the single-worker baseline for BenchmarkTrain.
+func BenchmarkTrainSerial(b *testing.B) { benchTrain(b, 1) }
 
 // BenchmarkSummarizeHMMMatching times the kernel with HMM (Viterbi) map
 // matching instead of greedy nearest-edge matching.

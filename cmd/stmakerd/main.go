@@ -4,17 +4,23 @@
 //
 // Usage:
 //
-//	stmakerd -world world.json -train train.json [-addr :8080]
+//	stmakerd -world world.json -train train.json [-addr :8080] [-pprof] [-log text|json]
 //
-// Endpoints:
+// Endpoints (see docs/API.md for the wire format):
 //
 //	POST /summarize[?k=N]  {"trajectory": {...traj.Raw JSON...}, "k": N}
 //	GET  /healthz
+//	GET  /metrics          JSON snapshot of stage + request metrics
+//	GET  /debug/pprof/*    Go profiling handlers (only with -pprof)
+//
+// Every request is logged as one structured line (log/slog) to stderr;
+// -log json switches the log format for machine ingestion. Metric names
+// are catalogued in docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 
@@ -28,46 +34,67 @@ func main() {
 		worldPath = flag.String("world", "world.json", "world file from trajgen")
 		trainPath = flag.String("train", "train.json", "training corpus")
 		addr      = flag.String("addr", ":8080", "listen address")
+		pprofOn   = flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
+		logFormat = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+
 	wf, err := os.Open(*worldPath)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	graph, lms, err := worldio.LoadWorld(wf)
 	wf.Close()
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	s, err := stmaker.New(stmaker.Config{Graph: graph, Landmarks: lms})
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	tf, err := os.Open(*trainPath)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	corpus, err := worldio.LoadTrips(tf)
 	tf.Close()
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	stats, err := s.Train(corpus)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
-	srv, err := server.New(s)
+	srv, err := server.NewWithOptions(s, server.Options{
+		Logger:      logger,
+		EnablePprof: *pprofOn,
+	})
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
-	fmt.Fprintf(os.Stderr, "stmakerd: trained on %d trajectories, listening on %s\n", stats.Calibrated, *addr)
+	logger.Info("stmakerd listening",
+		"addr", *addr,
+		"trained", stats.Calibrated,
+		"skipped", stats.Skipped,
+		"transitions", stats.Transitions,
+		"pprof", *pprofOn,
+	)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "stmakerd:", err)
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("stmakerd failed", "error", err)
 	os.Exit(1)
 }

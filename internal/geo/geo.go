@@ -1,6 +1,9 @@
 // Package geo provides geodesic primitives used throughout the STMaker
 // library: points, great-circle distances, bearings, interpolation and
-// distances between points and segments.
+// distances between points and segments. They underpin the trajectory
+// model's sample geometry (Def. 1), the calibration radius test (§II-A)
+// and the moving-feature computations — speed, stay points, U-turn
+// bearing changes (§III-B).
 //
 // Latitudes and longitudes are in decimal degrees; distances are in metres;
 // bearings are in degrees clockwise from north in [0, 360).

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Metric names recorded by the HTTP middleware into the server's
+// registry. docs/OBSERVABILITY.md documents each; keep the two in sync.
+const (
+	// MetricHTTPRequests counts every request received.
+	MetricHTTPRequests = "http_requests_total"
+	// MetricHTTPInFlight is the number of requests currently being
+	// handled (a gauge: incremented on entry, decremented on exit).
+	MetricHTTPInFlight = "http_requests_in_flight"
+	// MetricHTTPLatency is the request latency histogram across all
+	// routes, in seconds.
+	MetricHTTPLatency = "http_request_seconds"
+	// MetricHTTPResponsesPrefix prefixes the per-status-class response
+	// counters: http_responses_2xx_total, _4xx_, _5xx_, ...
+	MetricHTTPResponsesPrefix = "http_responses_"
+)
+
+// statusRecorder wraps a ResponseWriter to capture the status code and
+// response size for metrics and the request log. A handler that never
+// calls WriteHeader implicitly sends 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// statusClassCounter maps a status code to its class counter name without
+// allocating for the common classes.
+func statusClassCounter(status int) string {
+	switch status / 100 {
+	case 2:
+		return MetricHTTPResponsesPrefix + "2xx_total"
+	case 3:
+		return MetricHTTPResponsesPrefix + "3xx_total"
+	case 4:
+		return MetricHTTPResponsesPrefix + "4xx_total"
+	default:
+		return MetricHTTPResponsesPrefix + "5xx_total"
+	}
+}
+
+// observe wraps the mux with the serving-path middleware: it counts the
+// request, tracks in-flight load, times the handler, bumps the
+// status-class counter and emits one structured log line per request.
+func (srv *Server) observe(next http.Handler) http.Handler {
+	requests := srv.mx.Counter(MetricHTTPRequests)
+	inflight := srv.mx.Counter(MetricHTTPInFlight)
+	latency := srv.mx.Histogram(MetricHTTPLatency)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		requests.Inc()
+		inflight.Inc()
+		defer inflight.Add(-1)
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+
+		elapsed := time.Since(t0)
+		latency.Observe(elapsed.Seconds())
+		srv.mx.Counter(statusClassCounter(rec.status)).Inc()
+		srv.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Int("bytes", rec.bytes),
+			slog.Duration("duration", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}
+
+// handleMetrics serves the JSON snapshot of every registered metric —
+// the Summarizer's stage histograms plus the middleware's own request
+// metrics, since both live in the same registry.
+func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	srv.writeJSON(w, srv.mx.Snapshot())
+}

@@ -1,39 +1,103 @@
 // Package server exposes a trained Summarizer over HTTP, mirroring the
 // online STMaker demo system (Su et al., VLDB 2014): POST a raw trajectory,
 // get its summary back. It backs cmd/stmakerd.
+//
+// Beyond the summarization endpoint the server carries the observability
+// surface of the serving path: every request passes through middleware
+// that records count/latency/status metrics and emits one structured log
+// line (log/slog), GET /metrics serves a JSON snapshot of the shared
+// metrics registry (the Summarizer's per-stage pipeline timers plus the
+// HTTP metrics), and the Go pprof profiling handlers can be mounted
+// opt-in under /debug/pprof/. docs/API.md documents the wire format;
+// docs/OBSERVABILITY.md documents every metric name.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"stmaker"
+	"stmaker/internal/metrics"
 	"stmaker/internal/traj"
 )
 
 // Server handles summarization requests against one trained Summarizer.
 // It is safe for concurrent use.
 type Server struct {
-	s   *stmaker.Summarizer
-	mux *http.ServeMux
+	s       *stmaker.Summarizer
+	mux     *http.ServeMux
+	handler http.Handler
+	mx      *metrics.Registry
+	logger  *slog.Logger
 }
 
-// New builds a server. The summarizer must already be trained.
+// Options configures the optional parts of the server.
+type Options struct {
+	// Logger receives one structured line per request. Nil uses
+	// slog.Default(); use DiscardLogger() to silence request logging.
+	Logger *slog.Logger
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/. Off by default: profiling endpoints expose stack
+	// and heap internals and cost CPU while sampling, so they are
+	// opt-in (the -pprof flag of cmd/stmakerd).
+	EnablePprof bool
+}
+
+// DiscardLogger returns a logger that drops every record — for tests and
+// embedders that do their own request logging.
+func DiscardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// New builds a server with default options. The summarizer must already
+// be trained.
 func New(s *stmaker.Summarizer) (*Server, error) {
+	return NewWithOptions(s, Options{})
+}
+
+// NewWithOptions builds a server. The summarizer must already be trained;
+// its metrics registry is shared with the HTTP middleware so one
+// GET /metrics snapshot covers both pipeline stages and request traffic.
+func NewWithOptions(s *stmaker.Summarizer, opts Options) (*Server, error) {
 	if s == nil || !s.Trained() {
 		return nil, fmt.Errorf("server: summarizer must be trained")
 	}
-	srv := &Server{s: s, mux: http.NewServeMux()}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	srv := &Server{
+		s:      s,
+		mux:    http.NewServeMux(),
+		mx:     s.Metrics(),
+		logger: logger,
+	}
 	srv.mux.HandleFunc("/summarize", srv.handleSummarize)
 	srv.mux.HandleFunc("/healthz", srv.handleHealth)
+	srv.mux.HandleFunc("/metrics", srv.handleMetrics)
+	if opts.EnablePprof {
+		srv.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		srv.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		srv.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		srv.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		srv.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv.handler = srv.observe(srv.mux)
 	return srv, nil
 }
 
-// ServeHTTP implements http.Handler.
+// Metrics exposes the registry backing GET /metrics.
+func (srv *Server) Metrics() *metrics.Registry { return srv.mx }
+
+// ServeHTTP implements http.Handler. Every request passes through the
+// observation middleware.
 func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	srv.mux.ServeHTTP(w, r)
+	srv.handler.ServeHTTP(w, r)
 }
 
 // SummarizeRequest is the POST /summarize body.
@@ -81,25 +145,25 @@ func (srv *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	}
 	var req SummarizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		srv.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	if req.Trajectory == nil {
-		writeError(w, http.StatusBadRequest, "missing trajectory")
+		srv.writeError(w, http.StatusBadRequest, "missing trajectory")
 		return
 	}
 	k := req.K
 	if qk := r.URL.Query().Get("k"); qk != "" {
 		parsed, err := strconv.Atoi(qk)
 		if err != nil || parsed < 0 {
-			writeError(w, http.StatusBadRequest, "invalid k")
+			srv.writeError(w, http.StatusBadRequest, "invalid k")
 			return
 		}
 		k = parsed
 	}
 	sum, err := srv.s.SummarizeK(req.Trajectory, k)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		srv.writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 	resp := SummarizeResponse{ID: sum.TrajectoryID, Text: sum.Text}
@@ -113,15 +177,23 @@ func (srv *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Parts = append(resp.Parts, pr)
 	}
+	srv.writeJSON(w, resp)
+}
+
+// writeJSON encodes v as the response body. An encode failure after the
+// header is out is unrecoverable wire-wise (typically the client hung
+// up), but it must not vanish silently — it is logged.
+func (srv *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		// The header is already out; nothing recoverable remains.
-		return
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		srv.logger.Error("response encode failed", "error", err)
 	}
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
+func (srv *Server) writeError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(SummarizeResponse{Error: msg})
+	if err := json.NewEncoder(w).Encode(SummarizeResponse{Error: msg}); err != nil {
+		srv.logger.Error("error-response encode failed", "error", err)
+	}
 }

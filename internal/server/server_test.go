@@ -41,7 +41,7 @@ func testServer(t *testing.T) (*Server, *traj.Raw) {
 			setupErr = err
 			return
 		}
-		srv, setupErr = New(s)
+		srv, setupErr = NewWithOptions(s, Options{Logger: DiscardLogger()})
 		if setupErr != nil {
 			return
 		}

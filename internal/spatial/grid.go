@@ -1,6 +1,9 @@
 // Package spatial provides a uniform grid index over geographic points for
 // fast nearest-neighbour and radius queries. It is the workhorse behind
-// map-matching, landmark lookup and trajectory calibration.
+// map-matching (§III-A), landmark lookup (Def. 2) and trajectory
+// calibration (§II-A). The index is immutable once built, so concurrent
+// queries — including the parallel corpus calibration in Train — need no
+// locking.
 package spatial
 
 import (

@@ -1,7 +1,9 @@
 // Package worldio persists and restores the external semantic inputs of
-// STMaker — the road network and landmark dataset — and raw trajectory
-// datasets, as JSON. It is the storage layer behind cmd/trajgen and
-// cmd/stmaker, letting a generated world be reused across runs.
+// STMaker (§II: the road network and the landmark dataset) and raw
+// trajectory corpora (Def. 1), as JSON. It is the storage layer behind
+// cmd/trajgen, cmd/stmaker and cmd/stmakerd, letting a generated world be
+// reused across runs and served over HTTP; docs/API.md documents the trip
+// JSON shape as it appears on the wire.
 package worldio
 
 import (

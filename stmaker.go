@@ -27,16 +27,52 @@ package stmaker
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"stmaker/internal/calibrate"
 	"stmaker/internal/feature"
 	"stmaker/internal/history"
 	"stmaker/internal/irregular"
 	"stmaker/internal/landmark"
+	"stmaker/internal/metrics"
 	"stmaker/internal/partition"
 	"stmaker/internal/roadnet"
 	"stmaker/internal/summarize"
 	"stmaker/internal/traj"
+)
+
+// Metric names recorded by the Summarizer into its metrics Registry, one
+// latency histogram per pipeline stage plus training counters. Units and
+// paper-section mapping are documented in docs/OBSERVABILITY.md; keep the
+// two in sync.
+const (
+	// MetricStageCalibrate times trajectory calibration (§II-A).
+	MetricStageCalibrate = "stage_calibrate_seconds"
+	// MetricStageExtract times the feature-extraction hot loop (§III).
+	MetricStageExtract = "stage_extract_seconds"
+	// MetricStagePartition times the CRF/DP partition search (§IV).
+	MetricStagePartition = "stage_partition_seconds"
+	// MetricStageSelect times irregular-rate feature selection (§V).
+	MetricStageSelect = "stage_select_seconds"
+	// MetricStageRender times template realization (§VI-A).
+	MetricStageRender = "stage_render_seconds"
+	// MetricSummarize times SummarizeSymbolic end to end (extract +
+	// partition + select + render; calibration is counted separately).
+	MetricSummarize = "summarize_seconds"
+	// MetricTrain times each Train call end to end (§V knowledge build).
+	MetricTrain = "train_seconds"
+
+	// MetricSummaries counts successful summarizations.
+	MetricSummaries = "summaries_total"
+	// MetricSummarizeErrors counts failed summarizations.
+	MetricSummarizeErrors = "summarize_errors_total"
+	// MetricTrainCalibrated counts corpus trajectories learned from.
+	MetricTrainCalibrated = "train_trajectories_calibrated_total"
+	// MetricTrainSkipped counts corpus trajectories dropped by Train.
+	MetricTrainSkipped = "train_trajectories_skipped_total"
 )
 
 // ErrNotTrained is returned by Summarize before a training corpus has been
@@ -79,6 +115,14 @@ type Config struct {
 	// nearest-edge map matching to HMM (Viterbi) matching — slower but
 	// robust to GPS noise near parallel roads.
 	UseHMMMatching bool
+	// TrainWorkers bounds the goroutines Train uses to calibrate the
+	// corpus in parallel: 0 (default) uses GOMAXPROCS, 1 forces the
+	// serial path (the benchmark baseline).
+	TrainWorkers int
+	// Metrics receives the per-stage latency histograms and pipeline
+	// counters (see the Metric* constants); nil gives the Summarizer a
+	// private registry, exposed via Metrics().
+	Metrics *metrics.Registry
 }
 
 // TrainStats reports what Train managed to use.
@@ -105,9 +149,36 @@ type Summarizer struct {
 	templates  *summarize.TemplateSet
 	fallback   bool
 
+	mx     *metrics.Registry
+	timers stageTimers
+
 	popular *history.Popular
 	featMap *history.FeatureMap
 	trained bool
+}
+
+// stageTimers holds the pre-resolved per-stage histograms so the hot path
+// never takes the registry's registration lock.
+type stageTimers struct {
+	calibrate *metrics.Histogram
+	extract   *metrics.Histogram
+	partition *metrics.Histogram
+	sel       *metrics.Histogram
+	render    *metrics.Histogram
+	summarize *metrics.Histogram
+	train     *metrics.Histogram
+}
+
+func newStageTimers(mx *metrics.Registry) stageTimers {
+	return stageTimers{
+		calibrate: mx.Histogram(MetricStageCalibrate),
+		extract:   mx.Histogram(MetricStageExtract),
+		partition: mx.Histogram(MetricStagePartition),
+		sel:       mx.Histogram(MetricStageSelect),
+		render:    mx.Histogram(MetricStageRender),
+		summarize: mx.Histogram(MetricSummarize),
+		train:     mx.Histogram(MetricTrain),
+	}
 }
 
 // New builds a Summarizer with the paper's six default features.
@@ -142,6 +213,10 @@ func New(cfg Config) (*Summarizer, error) {
 	if cfg.UseHMMMatching {
 		ctx.HMM = roadnet.NewHMMMatcher(cfg.Graph, roadnet.HMMOptions{})
 	}
+	mx := cfg.Metrics
+	if mx == nil {
+		mx = metrics.NewRegistry()
+	}
 	s := &Summarizer{
 		cfg:      cfg,
 		registry: reg,
@@ -152,9 +227,16 @@ func New(cfg Config) (*Summarizer, error) {
 		}),
 		templates: summarize.DefaultTemplates(),
 		fallback:  fallback,
+		mx:        mx,
+		timers:    newStageTimers(mx),
 	}
 	return s, nil
 }
+
+// Metrics exposes the registry holding the Summarizer's per-stage latency
+// histograms and pipeline counters (the Metric* constants). The HTTP
+// service serves its snapshot at GET /metrics; see docs/OBSERVABILITY.md.
+func (s *Summarizer) Metrics() *metrics.Registry { return s.mx }
 
 // Registry exposes the feature registry (read-mostly; use RegisterFeature
 // to extend it).
@@ -184,6 +266,7 @@ func (s *Summarizer) RegisterFeature(e feature.Extractor, clause summarize.Claus
 // Calibrate rewrites a raw trajectory into its symbolic form against the
 // configured landmark set (§II-A).
 func (s *Summarizer) Calibrate(r *traj.Raw) (*traj.Symbolic, error) {
+	defer s.timers.calibrate.ObserveSince(time.Now())
 	return s.calibrator.Calibrate(r)
 }
 
@@ -191,24 +274,77 @@ func (s *Summarizer) Calibrate(r *traj.Raw) (*traj.Symbolic, error) {
 // trajectories: the popular-route statistics and the per-transition
 // historical feature map. Train may be called again to retrain on a new
 // corpus; knowledge is replaced, not merged.
+//
+// Calibration of the corpus is embarrassingly parallel and runs across
+// Config.TrainWorkers goroutines (default GOMAXPROCS); the aggregation in
+// TrainSymbolic stays single-writer. Corpus order is preserved, so Train
+// is deterministic regardless of worker count.
 func (s *Summarizer) Train(corpus []*traj.Raw) (TrainStats, error) {
-	symbolic := make([]*traj.Symbolic, 0, len(corpus))
+	defer s.timers.train.ObserveSince(time.Now())
+	calibrated := s.calibrateCorpus(corpus)
+
 	var stats TrainStats
-	for _, r := range corpus {
-		sym, err := s.calibrator.Calibrate(r)
-		if err != nil {
+	symbolic := make([]*traj.Symbolic, 0, len(corpus))
+	for _, sym := range calibrated {
+		if sym == nil {
 			stats.Skipped++
 			continue
 		}
 		symbolic = append(symbolic, sym)
 		stats.Calibrated++
 	}
+	s.mx.Counter(MetricTrainCalibrated).Add(int64(stats.Calibrated))
+	s.mx.Counter(MetricTrainSkipped).Add(int64(stats.Skipped))
 	if len(symbolic) == 0 {
 		return stats, errors.New("stmaker: no corpus trajectory could be calibrated")
 	}
 	s.TrainSymbolic(symbolic)
 	stats.Transitions = s.featMap.NumEdges()
 	return stats, nil
+}
+
+// calibrateCorpus calibrates every corpus trajectory, in parallel when
+// more than one worker is configured, returning one slot per input (nil
+// where calibration failed). The calibrator is stateless per call and the
+// landmark index is immutable, so workers share them safely.
+func (s *Summarizer) calibrateCorpus(corpus []*traj.Raw) []*traj.Symbolic {
+	out := make([]*traj.Symbolic, len(corpus))
+	workers := s.cfg.TrainWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(corpus) {
+		workers = len(corpus)
+	}
+	if workers <= 1 {
+		for i, r := range corpus {
+			t0 := time.Now()
+			out[i], _ = s.calibrator.Calibrate(r)
+			s.timers.calibrate.ObserveSince(t0)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(corpus) {
+					return
+				}
+				// Each worker writes only its own slots; the histogram
+				// is atomic, so concurrent observation is safe.
+				t0 := time.Now()
+				out[i], _ = s.calibrator.Calibrate(corpus[i])
+				s.timers.calibrate.ObserveSince(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // TrainSymbolic learns from pre-calibrated trajectories.
@@ -264,8 +400,9 @@ func (s *Summarizer) Summarize(r *traj.Raw) (*summarize.Summary, error) {
 // SummarizeK generates the summary with exactly k partitions (clamped to
 // the number of trajectory segments); k <= 0 uses the optimal partition.
 func (s *Summarizer) SummarizeK(r *traj.Raw, k int) (*summarize.Summary, error) {
-	sym, err := s.calibrator.Calibrate(r)
+	sym, err := s.Calibrate(r)
 	if err != nil {
+		s.mx.Counter(MetricSummarizeErrors).Inc()
 		return nil, err
 	}
 	return s.SummarizeSymbolic(sym, k)
@@ -275,16 +412,23 @@ func (s *Summarizer) SummarizeK(r *traj.Raw, k int) (*summarize.Summary, error) 
 // realization on an already-calibrated trajectory.
 func (s *Summarizer) SummarizeSymbolic(sym *traj.Symbolic, k int) (*summarize.Summary, error) {
 	if !s.trained {
+		s.mx.Counter(MetricSummarizeErrors).Inc()
 		return nil, ErrNotTrained
 	}
 	n := sym.NumSegments()
 	if n == 0 {
+		s.mx.Counter(MetricSummarizeErrors).Inc()
 		return nil, traj.ErrNotCalibrated
 	}
+	defer s.timers.summarize.ObserveSince(time.Now())
 
+	tExtract := time.Now()
 	matrix := s.registry.ExtractAll(sym, s.ctx)
+	s.timers.extract.ObserveSince(tExtract)
+
 	res, err := s.partitionTrajectory(sym, matrix, k)
 	if err != nil {
+		s.mx.Counter(MetricSummarizeErrors).Inc()
 		return nil, err
 	}
 
@@ -299,6 +443,7 @@ func (s *Summarizer) SummarizeSymbolic(sym *traj.Symbolic, k int) (*summarize.Su
 		GlobalMeanFallback: s.fallback,
 	}
 
+	tSelect := time.Now()
 	summary := &summarize.Summary{TrajectoryID: sym.ID}
 	for _, part := range res.Parts {
 		ps := summarize.PartSummary{
@@ -315,7 +460,12 @@ func (s *Summarizer) SummarizeSymbolic(sym *traj.Symbolic, k int) (*summarize.Su
 		ps.Features = selector.SelectForPart(sym, part, matrix)
 		summary.Parts = append(summary.Parts, ps)
 	}
+	s.timers.sel.ObserveSince(tSelect)
+
+	tRender := time.Now()
 	s.templates.RenderSummary(summary)
+	s.timers.render.ObserveSince(tRender)
+	s.mx.Counter(MetricSummaries).Inc()
 	return summary, nil
 }
 
@@ -323,11 +473,14 @@ func (s *Summarizer) SummarizeSymbolic(sym *traj.Symbolic, k int) (*summarize.Su
 // and selects nothing, returning the optimal (k <= 0) or exact-k partition
 // of the symbolic trajectory.
 func (s *Summarizer) Partition(sym *traj.Symbolic, k int) (partition.Result, error) {
+	tExtract := time.Now()
 	matrix := s.registry.ExtractAll(sym, s.ctx)
+	s.timers.extract.ObserveSince(tExtract)
 	return s.partitionTrajectory(sym, matrix, k)
 }
 
 func (s *Summarizer) partitionTrajectory(sym *traj.Symbolic, matrix []feature.Vector, k int) (partition.Result, error) {
+	defer s.timers.partition.ObserveSince(time.Now())
 	n := sym.NumSegments()
 	norm := feature.NormalizeByMax(matrix)
 	in := partition.Input{

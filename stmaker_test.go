@@ -427,3 +427,104 @@ func TestTrainEmptyAndHopelessCorpus(t *testing.T) {
 		t.Errorf("stats = %+v", stats)
 	}
 }
+
+// TestTrainParallelMatchesSerial proves the parallel corpus calibration is
+// deterministic: any worker count learns exactly the same knowledge as the
+// serial baseline, and summaries come out identical. Run under -race it
+// also exercises the worker pool for data races.
+func TestTrainParallelMatchesSerial(t *testing.T) {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 8, Cols: 8, BlockMeters: 500, Seed: 21})
+	visits := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 22})
+	city.Landmarks.InferSignificance(200, visits, hits.Options{})
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: 80, Seed: 23, FixedHour: -1, Calm: true,
+	})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	trip := eventfulTrip(t, city, 24)
+
+	summarizers := map[int]*Summarizer{}
+	var serialStats TrainStats
+	for _, workers := range []int{1, 4} {
+		s, err := New(Config{Graph: city.Graph, Landmarks: city.Landmarks, TrainWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := s.Train(corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			serialStats = stats
+		} else if stats != serialStats {
+			t.Errorf("workers=%d stats = %+v, serial = %+v", workers, stats, serialStats)
+		}
+		summarizers[workers] = s
+	}
+	sumSerial, err := summarizers[1].SummarizeK(trip.Raw, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumParallel, err := summarizers[4].SummarizeK(trip.Raw, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumSerial.Text != sumParallel.Text {
+		t.Errorf("parallel training changed the summary:\nserial:   %s\nparallel: %s",
+			sumSerial.Text, sumParallel.Text)
+	}
+}
+
+// TestStageMetricsRecorded checks the per-stage histograms and pipeline
+// counters fill in as the pipeline runs (docs/OBSERVABILITY.md documents
+// the names asserted here).
+func TestStageMetricsRecorded(t *testing.T) {
+	city, s := newWorld(t, nil)
+	snap := s.Metrics().Snapshot()
+	if snap.Histograms[MetricTrain].Count != 1 {
+		t.Errorf("%s count = %d, want 1", MetricTrain, snap.Histograms[MetricTrain].Count)
+	}
+	if snap.Counters[MetricTrainCalibrated] == 0 {
+		t.Errorf("%s = 0 after Train", MetricTrainCalibrated)
+	}
+	calibrations := snap.Histograms[MetricStageCalibrate].Count
+	if calibrations == 0 {
+		t.Errorf("%s empty after Train", MetricStageCalibrate)
+	}
+
+	trip := eventfulTrip(t, city, 25)
+	if _, err := s.Summarize(trip.Raw); err != nil {
+		t.Fatal(err)
+	}
+	snap = s.Metrics().Snapshot()
+	for _, name := range []string{
+		MetricStageCalibrate, MetricStageExtract, MetricStagePartition,
+		MetricStageSelect, MetricStageRender, MetricSummarize,
+	} {
+		h := snap.Histograms[name]
+		if h.Count == 0 {
+			t.Errorf("histogram %s not recorded", name)
+		}
+		if h.Sum < 0 || h.Max < h.Min {
+			t.Errorf("histogram %s inconsistent: %+v", name, h)
+		}
+	}
+	if snap.Histograms[MetricStageCalibrate].Count != calibrations+1 {
+		t.Errorf("calibrate count = %d, want %d",
+			snap.Histograms[MetricStageCalibrate].Count, calibrations+1)
+	}
+	if snap.Counters[MetricSummaries] != 1 {
+		t.Errorf("%s = %d, want 1", MetricSummaries, snap.Counters[MetricSummaries])
+	}
+
+	// Errors are counted, not timed.
+	if _, err := s.Summarize(&traj.Raw{ID: "bad"}); err == nil {
+		t.Fatal("invalid trajectory accepted")
+	}
+	snap = s.Metrics().Snapshot()
+	if snap.Counters[MetricSummarizeErrors] == 0 {
+		t.Errorf("%s = 0 after failed Summarize", MetricSummarizeErrors)
+	}
+}

@@ -1,5 +1,5 @@
 # Tier-1 gate: every change must keep `make check` green.
-.PHONY: check build vet test bench
+.PHONY: check build vet test bench fuzz-smoke
 
 check: build vet test
 
@@ -14,3 +14,10 @@ test:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Short randomized smoke of the fuzz targets (~30s total): enough to
+# catch shallow regressions on every CI run without a dedicated fuzz
+# farm. Run with a larger -fuzztime locally when touching the decoders.
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzLoadTrips -fuzztime=15s ./internal/worldio
+	go test -run='^$$' -fuzz=FuzzSanitize -fuzztime=15s ./internal/sanitize

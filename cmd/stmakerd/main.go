@@ -1,15 +1,20 @@
 // Command stmakerd serves trajectory summarization over HTTP, the way the
 // original STMaker demo system ran online. It loads a world and training
-// corpus produced by cmd/trajgen, trains, and listens.
+// corpus produced by cmd/trajgen, trains, and listens until SIGINT or
+// SIGTERM, then drains in-flight requests and exits.
 //
 // Usage:
 //
-//	stmakerd -world world.json -train train.json [-addr :8080] [-pprof] [-log text|json]
+//	stmakerd -world world.json -train train.json [-addr :8080] [-pprof]
+//	         [-log text|json] [-max-body N] [-max-inflight N]
+//	         [-timeout D] [-drain D] [-no-sanitize]
 //
-// Endpoints (see docs/API.md for the wire format):
+// Endpoints (see docs/API.md for the wire format and docs/ROBUSTNESS.md
+// for the failure-mode contract):
 //
 //	POST /summarize[?k=N]  {"trajectory": {...traj.Raw JSON...}, "k": N}
-//	GET  /healthz
+//	GET  /healthz          liveness probe
+//	GET  /readyz           readiness probe (503 while draining)
 //	GET  /metrics          JSON snapshot of stage + request metrics
 //	GET  /debug/pprof/*    Go profiling handlers (only with -pprof)
 //
@@ -19,32 +24,46 @@
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log/slog"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"stmaker"
+	"stmaker/internal/sanitize"
 	"stmaker/internal/server"
 	"stmaker/internal/worldio"
 )
 
 func main() {
 	var (
-		worldPath = flag.String("world", "world.json", "world file from trajgen")
-		trainPath = flag.String("train", "train.json", "training corpus")
-		addr      = flag.String("addr", ":8080", "listen address")
-		pprofOn   = flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
-		logFormat = flag.String("log", "text", "log format: text or json")
+		worldPath   = flag.String("world", "world.json", "world file from trajgen")
+		trainPath   = flag.String("train", "train.json", "training corpus")
+		addr        = flag.String("addr", ":8080", "listen address")
+		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
+		logFormat   = flag.String("log", "text", "log format: text or json")
+		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes (413 beyond; <0 disables)")
+		maxInflight = flag.Int("max-inflight", 256, "max concurrently-handled requests (503 beyond; 0 disables)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request pipeline deadline (504 beyond; 0 disables)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		noSanitize  = flag.Bool("no-sanitize", false, "disable input repair (sanitization) before calibration")
 	)
 	flag.Parse()
 
 	var handler slog.Handler
 	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
 	case "json":
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	default:
-		handler = slog.NewTextHandler(os.Stderr, nil)
+		fmt.Fprintf(os.Stderr, "stmakerd: invalid -log value %q (want text or json)\n\n", *logFormat)
+		flag.Usage()
+		os.Exit(2)
 	}
 	logger := slog.New(handler)
 	slog.SetDefault(logger)
@@ -58,7 +77,11 @@ func main() {
 	if err != nil {
 		fatal(logger, err)
 	}
-	s, err := stmaker.New(stmaker.Config{Graph: graph, Landmarks: lms})
+	cfg := stmaker.Config{Graph: graph, Landmarks: lms}
+	if !*noSanitize {
+		cfg.Sanitize = &sanitize.Options{}
+	}
+	s, err := stmaker.New(cfg)
 	if err != nil {
 		fatal(logger, err)
 	}
@@ -76,8 +99,11 @@ func main() {
 		fatal(logger, err)
 	}
 	srv, err := server.NewWithOptions(s, server.Options{
-		Logger:      logger,
-		EnablePprof: *pprofOn,
+		Logger:         logger,
+		EnablePprof:    *pprofOn,
+		MaxBodyBytes:   *maxBody,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *timeout,
 	})
 	if err != nil {
 		fatal(logger, err)
@@ -86,12 +112,21 @@ func main() {
 		"addr", *addr,
 		"trained", stats.Calibrated,
 		"skipped", stats.Skipped,
+		"repaired", stats.Repaired,
+		"repairs", stats.Repairs.Repairs(),
 		"transitions", stats.Transitions,
+		"sanitize", !*noSanitize,
 		"pprof", *pprofOn,
 	)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	// SIGINT/SIGTERM cancels ctx; Serve then flips /readyz to 503,
+	// drains in-flight requests for up to -drain, and returns.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx, *addr, server.ServeOptions{DrainTimeout: *drain}); err != nil {
 		fatal(logger, err)
 	}
+	logger.Info("stmakerd stopped")
 }
 
 func fatal(logger *slog.Logger, err error) {

@@ -1,0 +1,47 @@
+package sanitize
+
+import (
+	"encoding/json"
+	"testing"
+
+	"stmaker/internal/traj"
+)
+
+// FuzzSanitize asserts the sanitizer's core contract on arbitrary
+// trajectories: it never panics, and whatever it returns either passes
+// traj.Raw.Validate or is an explicit rejection error — never a
+// half-repaired trajectory.
+func FuzzSanitize(f *testing.F) {
+	seeds := []string{
+		`{"id":"clean","samples":[{"pt":{"Lat":39.9,"Lng":116.3},"t":"2013-11-02T06:00:00Z"},{"pt":{"Lat":39.91,"Lng":116.31},"t":"2013-11-02T06:05:00Z"}]}`,
+		`{"id":"dup","samples":[{"pt":{"Lat":1,"Lng":1},"t":"2013-11-02T06:00:00Z"},{"pt":{"Lat":1,"Lng":1},"t":"2013-11-02T06:00:00Z"},{"pt":{"Lat":1.001,"Lng":1},"t":"2013-11-02T06:01:00Z"}]}`,
+		`{"id":"shuffled","samples":[{"pt":{"Lat":1,"Lng":1},"t":"2013-11-02T06:05:00Z"},{"pt":{"Lat":1.001,"Lng":1},"t":"2013-11-02T06:00:00Z"}]}`,
+		`{"id":"teleport","samples":[{"pt":{"Lat":1,"Lng":1},"t":"2013-11-02T06:00:00Z"},{"pt":{"Lat":45,"Lng":90},"t":"2013-11-02T06:00:01Z"},{"pt":{"Lat":1.0001,"Lng":1},"t":"2013-11-02T06:00:02Z"}]}`,
+		`{"id":"bad","samples":[{"pt":{"Lat":999,"Lng":-999},"t":"0001-01-01T00:00:00Z"}]}`,
+		`{}`,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	san := New(Options{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r traj.Raw
+		if err := json.Unmarshal(data, &r); err != nil {
+			return // not a trajectory; decoding robustness is FuzzLoadTrips' job
+		}
+		out, rep, err := san.Sanitize(&r)
+		if err != nil {
+			if out != nil {
+				t.Fatalf("error with non-nil output: %v", err)
+			}
+			return
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("sanitized output fails Validate: %v\nreport: %+v\ninput: %s", err, rep, data)
+		}
+		if rep.Output != len(out.Samples) || rep.Input != len(r.Samples) {
+			t.Fatalf("report counts inconsistent: %+v vs %d->%d", rep, len(r.Samples), len(out.Samples))
+		}
+	})
+}

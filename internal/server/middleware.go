@@ -1,8 +1,11 @@
 package server
 
 import (
+	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
+	"strings"
 	"time"
 )
 
@@ -20,6 +23,12 @@ const (
 	// MetricHTTPResponsesPrefix prefixes the per-status-class response
 	// counters: http_responses_2xx_total, _4xx_, _5xx_, ...
 	MetricHTTPResponsesPrefix = "http_responses_"
+	// MetricHTTPPanics counts handler panics recovered into 500s; any
+	// non-zero value is a bug worth paging on, but the process survives.
+	MetricHTTPPanics = "panics_recovered_total"
+	// MetricHTTPShed counts requests rejected with 503 because the
+	// in-flight limit (Options.MaxInFlight) was reached.
+	MetricHTTPShed = "http_requests_shed_total"
 )
 
 // statusRecorder wraps a ResponseWriter to capture the status code and
@@ -27,16 +36,19 @@ const (
 // calls WriteHeader implicitly sends 200.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
-	bytes  int
+	status      int
+	bytes       int
+	wroteHeader bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wroteHeader = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
 func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true // implicit 200 on first write
 	n, err := r.ResponseWriter.Write(p)
 	r.bytes += n
 	return n, err
@@ -84,6 +96,75 @@ func (srv *Server) observe(next http.Handler) http.Handler {
 			slog.Duration("duration", elapsed),
 			slog.String("remote", r.RemoteAddr),
 		)
+	})
+}
+
+// recoverPanics converts a handler panic into a 500 so one poisoned
+// request — a trajectory that trips a library panic deep in the
+// pipeline — cannot take the process down with it. The panic value and
+// stack go to the log, MetricHTTPPanics counts the event, and the
+// connection gets a JSON 500 unless the handler had already started
+// writing. http.ErrAbortHandler is re-raised: it is net/http's own
+// abort-this-connection protocol, not a bug.
+func (srv *Server) recoverPanics(next http.Handler) http.Handler {
+	panics := srv.mx.Counter(MetricHTTPPanics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			panics.Inc()
+			srv.logger.Error("panic recovered",
+				"panic", fmt.Sprint(p),
+				"method", r.Method,
+				"path", r.URL.Path,
+				"stack", string(debug.Stack()),
+			)
+			// Best-effort 500: once the handler has written a header the
+			// wire is already committed, so only the log records it.
+			if rec, ok := w.(*statusRecorder); !ok || !rec.wroteHeader {
+				srv.writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// infrastructurePath reports whether the route must stay reachable even
+// under load shedding: probes, scrapes and profiling never compete with
+// summarization for the in-flight budget.
+func infrastructurePath(p string) bool {
+	return p == "/healthz" || p == "/readyz" || p == "/metrics" ||
+		strings.HasPrefix(p, "/debug/pprof/")
+}
+
+// limit is the semaphore-based load shedder: past Options.MaxInFlight
+// concurrently-running requests, new work is rejected immediately with
+// 503 + Retry-After rather than queued — queueing under overload only
+// converts load into latency and memory.
+func (srv *Server) limit(next http.Handler) http.Handler {
+	if srv.limiter == nil {
+		return next
+	}
+	shed := srv.mx.Counter(MetricHTTPShed)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if infrastructurePath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case srv.limiter <- struct{}{}:
+			defer func() { <-srv.limiter }()
+			next.ServeHTTP(w, r)
+		default:
+			shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			srv.writeError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
+		}
 	})
 }
 

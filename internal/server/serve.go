@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServeOptions configures the http.Server that Serve runs the handler
+// under. Every timeout has a production default; zero fields take it,
+// negative fields disable that timeout.
+type ServeOptions struct {
+	// ReadHeaderTimeout bounds reading the request line and headers
+	// (default 5s) — the first slow-loris defence.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading the whole request including the body
+	// (default 30s), so a client trickling a body one byte at a time
+	// cannot pin a connection forever.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing the response (default 60s). Keep it
+	// above the per-request pipeline deadline (Options.RequestTimeout)
+	// or responses get cut mid-write.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit
+	// between requests (default 120s).
+	IdleTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 10s): in-flight
+	// requests get this long to finish before remaining connections are
+	// force-closed.
+	DrainTimeout time.Duration
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	def := func(d *time.Duration, v time.Duration) {
+		switch {
+		case *d == 0:
+			*d = v
+		case *d < 0:
+			*d = 0
+		}
+	}
+	def(&o.ReadHeaderTimeout, 5*time.Second)
+	def(&o.ReadTimeout, 30*time.Second)
+	def(&o.WriteTimeout, 60*time.Second)
+	def(&o.IdleTimeout, 120*time.Second)
+	def(&o.DrainTimeout, 10*time.Second)
+	return o
+}
+
+// ListenAndServe binds addr and calls Serve. It returns when ctx is
+// cancelled (after a graceful drain) or the listener fails.
+func (srv *Server) ListenAndServe(ctx context.Context, addr string, opts ServeOptions) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return srv.Serve(ctx, l, opts)
+}
+
+// Serve runs the server on l under an http.Server with the configured
+// connection timeouts until ctx is cancelled — cmd/stmakerd wires ctx to
+// SIGINT/SIGTERM. Cancellation starts a graceful drain: /readyz flips to
+// 503 so load balancers stop sending work, the listener closes, in-flight
+// requests get DrainTimeout to finish, then stragglers are force-closed.
+// Serve returns nil after a clean drain and the shutdown error otherwise.
+func (srv *Server) Serve(ctx context.Context, l net.Listener, opts ServeOptions) error {
+	opts = opts.withDefaults()
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: opts.ReadHeaderTimeout,
+		ReadTimeout:       opts.ReadTimeout,
+		WriteTimeout:      opts.WriteTimeout,
+		IdleTimeout:       opts.IdleTimeout,
+		ErrorLog:          slog.NewLogLogger(srv.logger.Handler(), slog.LevelWarn),
+	}
+	srv.ready.Store(true)
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(l) }()
+
+	select {
+	case err := <-served:
+		// The listener died underneath us; nothing to drain.
+		srv.ready.Store(false)
+		return err
+	case <-ctx.Done():
+	}
+
+	srv.ready.Store(false)
+	srv.logger.Info("draining", "timeout", opts.DrainTimeout)
+	drainCtx := context.Background()
+	if opts.DrainTimeout > 0 {
+		var cancel context.CancelFunc
+		drainCtx, cancel = context.WithTimeout(drainCtx, opts.DrainTimeout)
+		defer cancel()
+	}
+	err := hs.Shutdown(drainCtx)
+	if err != nil {
+		// Drain deadline passed with requests still running: cut them.
+		srv.logger.Warn("drain timed out, closing remaining connections", "error", err)
+		hs.Close()
+	}
+	if serveErr := <-served; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}

@@ -3,28 +3,43 @@
 // get its summary back. It backs cmd/stmakerd.
 //
 // Beyond the summarization endpoint the server carries the observability
-// surface of the serving path: every request passes through middleware
-// that records count/latency/status metrics and emits one structured log
-// line (log/slog), GET /metrics serves a JSON snapshot of the shared
-// metrics registry (the Summarizer's per-stage pipeline timers plus the
-// HTTP metrics), and the Go pprof profiling handlers can be mounted
-// opt-in under /debug/pprof/. docs/API.md documents the wire format;
-// docs/OBSERVABILITY.md documents every metric name.
+// and resilience surface of the serving path: every request passes
+// through middleware that records count/latency/status metrics, emits
+// one structured log line (log/slog), recovers panics into 500s, and
+// sheds load past the in-flight limit with 503s; request bodies are
+// capped (413), expensive handlers run under a per-request deadline
+// (504), GET /metrics serves a JSON snapshot of the shared metrics
+// registry, GET /readyz reflects drain state for load balancers, and the
+// Go pprof profiling handlers can be mounted opt-in under /debug/pprof/.
+// The Serve helper runs the whole thing under an http.Server with
+// connection timeouts and graceful shutdown. docs/API.md documents the
+// wire format; docs/OBSERVABILITY.md documents every metric name;
+// docs/ROBUSTNESS.md documents the failure-mode contract.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"stmaker"
 	"stmaker/internal/metrics"
 	"stmaker/internal/traj"
 )
+
+// DefaultMaxBodyBytes caps POST /summarize request bodies: 4 MiB holds
+// a trajectory of roughly 40k verbose-JSON samples — days of driving at
+// typical sampling rates — while keeping a hostile client from staging
+// gigabytes in memory.
+const DefaultMaxBodyBytes int64 = 4 << 20
 
 // Server handles summarization requests against one trained Summarizer.
 // It is safe for concurrent use.
@@ -34,6 +49,14 @@ type Server struct {
 	handler http.Handler
 	mx      *metrics.Registry
 	logger  *slog.Logger
+	opts    Options
+
+	// ready gates GET /readyz: true while serving, flipped false when a
+	// drain begins so load balancers stop routing here.
+	ready atomic.Bool
+	// limiter is the in-flight semaphore for non-infrastructure routes;
+	// nil means unlimited.
+	limiter chan struct{}
 }
 
 // Options configures the optional parts of the server.
@@ -46,6 +69,29 @@ type Options struct {
 	// and heap internals and cost CPU while sampling, so they are
 	// opt-in (the -pprof flag of cmd/stmakerd).
 	EnablePprof bool
+	// MaxBodyBytes caps the request body of POST /summarize; an
+	// oversized body gets 413. 0 uses DefaultMaxBodyBytes; negative
+	// disables the cap.
+	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently-handled requests on all routes
+	// except the infrastructure endpoints (/healthz, /readyz, /metrics,
+	// /debug/pprof/). Requests beyond the limit are shed immediately
+	// with 503 + Retry-After. 0 means unlimited.
+	MaxInFlight int
+	// RequestTimeout bounds each summarization: the pipeline checks the
+	// deadline between stages and the request fails with 504 when it
+	// expires. 0 means no deadline.
+	RequestTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return o
 }
 
 // DiscardLogger returns a logger that drops every record — for tests and
@@ -67,18 +113,21 @@ func NewWithOptions(s *stmaker.Summarizer, opts Options) (*Server, error) {
 	if s == nil || !s.Trained() {
 		return nil, fmt.Errorf("server: summarizer must be trained")
 	}
-	logger := opts.Logger
-	if logger == nil {
-		logger = slog.Default()
-	}
+	opts = opts.withDefaults()
 	srv := &Server{
 		s:      s,
 		mux:    http.NewServeMux(),
 		mx:     s.Metrics(),
-		logger: logger,
+		logger: opts.Logger,
+		opts:   opts,
 	}
+	if opts.MaxInFlight > 0 {
+		srv.limiter = make(chan struct{}, opts.MaxInFlight)
+	}
+	srv.ready.Store(true)
 	srv.mux.HandleFunc("/summarize", srv.handleSummarize)
 	srv.mux.HandleFunc("/healthz", srv.handleHealth)
+	srv.mux.HandleFunc("/readyz", srv.handleReady)
 	srv.mux.HandleFunc("/metrics", srv.handleMetrics)
 	if opts.EnablePprof {
 		srv.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -87,9 +136,25 @@ func NewWithOptions(s *stmaker.Summarizer, opts Options) (*Server, error) {
 		srv.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		srv.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	srv.handler = srv.observe(srv.mux)
+	// Middleware chain, outermost first: observe sees every response
+	// (including shed 503s and recovered 500s), recover catches panics
+	// from the limiter inward, the limiter sheds before any work starts.
+	srv.handler = srv.observe(srv.recoverPanics(srv.limit(srv.mux)))
 	return srv, nil
 }
+
+// Handle mounts an additional handler behind the server's full middleware
+// chain (metrics, logging, panic recovery, load shedding). It must be
+// called before the server starts receiving traffic; embedders use it to
+// co-host auxiliary routes with the summarization endpoint.
+func (srv *Server) Handle(pattern string, h http.Handler) {
+	srv.mux.Handle(pattern, h)
+}
+
+// SetReady flips the /readyz state: false makes the endpoint return 503
+// so load balancers drain this instance; Serve does this automatically
+// on shutdown.
+func (srv *Server) SetReady(ready bool) { srv.ready.Store(ready) }
 
 // Metrics exposes the registry backing GET /metrics.
 func (srv *Server) Metrics() *metrics.Registry { return srv.mx }
@@ -133,9 +198,45 @@ type FeatureEntry struct {
 	Value float64 `json:"value"`
 }
 
-func (srv *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is the readiness probe: 200 while serving, 503 once a
+// drain has begun (or SetReady(false) was called), so load balancers
+// stop routing new work here while in-flight requests finish.
+func (srv *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	if !srv.ready.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// statusForError maps a pipeline error to its HTTP status: deadline and
+// cancellation are a 504 (the server gave up, not the client's data),
+// input-shaped errors (validation, sanitizer rejection, calibration) are
+// a 422, and everything else — ErrNotTrained, partition failures — is a
+// 500, because the client's request was fine.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case stmaker.IsInputError(err):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func (srv *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
@@ -143,8 +244,17 @@ func (srv *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	if srv.opts.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, srv.opts.MaxBodyBytes)
+	}
 	var req SummarizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			srv.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		srv.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
@@ -161,9 +271,15 @@ func (srv *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		}
 		k = parsed
 	}
-	sum, err := srv.s.SummarizeK(req.Trajectory, k)
+	ctx := r.Context()
+	if srv.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, srv.opts.RequestTimeout)
+		defer cancel()
+	}
+	sum, err := srv.s.SummarizeKContext(ctx, req.Trajectory, k)
 	if err != nil {
-		srv.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		srv.writeError(w, statusForError(err), err.Error())
 		return
 	}
 	resp := SummarizeResponse{ID: sum.TrajectoryID, Text: sum.Text}

@@ -30,8 +30,12 @@ type Raw struct {
 }
 
 // Validate checks structural invariants: at least two samples, valid
-// coordinates and non-decreasing timestamps.
+// coordinates and non-decreasing timestamps. A nil trajectory is invalid,
+// not a panic — decoded JSON (worldio, the HTTP server) can produce one.
 func (r *Raw) Validate() error {
+	if r == nil {
+		return errors.New("traj: nil trajectory")
+	}
 	if len(r.Samples) < 2 {
 		return fmt.Errorf("traj: trajectory %q has %d samples, need at least 2", r.ID, len(r.Samples))
 	}

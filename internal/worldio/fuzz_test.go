@@ -1,0 +1,39 @@
+package worldio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadTrips asserts the trip decoder's contract on arbitrary bytes:
+// it never panics, and every trajectory it returns without error passes
+// Validate — garbage on the wire becomes an error, never a poisoned
+// corpus handed to Train.
+func FuzzLoadTrips(f *testing.F) {
+	seeds := []string{
+		`{"version":1,"trips":[{"id":"a","samples":[{"pt":{"Lat":39.9,"Lng":116.3},"t":"2013-11-02T06:00:00Z"},{"pt":{"Lat":39.91,"Lng":116.31},"t":"2013-11-02T06:05:00Z"}]}]}`,
+		`{"version":1,"trips":[]}`,
+		`{"version":1,"trips":[null]}`,
+		`{"version":1,"trips":[{"id":"short","samples":[]}]}`,
+		`{"version":2,"trips":[]}`,
+		`{"version":1,"trips":[{"id":"bad","samples":[{"pt":{"Lat":999,"Lng":999},"t":"2013-11-02T06:00:00Z"},{"pt":{"Lat":0,"Lng":0},"t":"2013-11-02T06:00:01Z"}]}]}`,
+		`{"version":1,"trips":[{"id":"rev","samples":[{"pt":{"Lat":1,"Lng":1},"t":"2013-11-02T06:05:00Z"},{"pt":{"Lat":1,"Lng":1},"t":"2013-11-02T06:00:00Z"}]}]}`,
+		`{`,
+		``,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trips, err := LoadTrips(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, tr := range trips {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("LoadTrips returned invalid trip %d without error: %v\ninput: %s", i, err, data)
+			}
+		}
+	})
+}

@@ -136,7 +136,10 @@ func LoadTrips(r io.Reader) ([]*traj.Raw, error) {
 	if tf.Version != FormatVersion {
 		return nil, fmt.Errorf("worldio: unsupported trips version %d", tf.Version)
 	}
-	for _, t := range tf.Trips {
+	for i, t := range tf.Trips {
+		if t == nil {
+			return nil, fmt.Errorf("worldio: trip %d is null", i)
+		}
 		if err := t.Validate(); err != nil {
 			return nil, fmt.Errorf("worldio: %w", err)
 		}

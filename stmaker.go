@@ -25,6 +25,7 @@
 package stmaker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -40,6 +41,7 @@ import (
 	"stmaker/internal/metrics"
 	"stmaker/internal/partition"
 	"stmaker/internal/roadnet"
+	"stmaker/internal/sanitize"
 	"stmaker/internal/summarize"
 	"stmaker/internal/traj"
 )
@@ -73,11 +75,28 @@ const (
 	MetricTrainCalibrated = "train_trajectories_calibrated_total"
 	// MetricTrainSkipped counts corpus trajectories dropped by Train.
 	MetricTrainSkipped = "train_trajectories_skipped_total"
+	// MetricSanitizeRepairs counts individual sample repairs applied by
+	// the input sanitizer (Config.Sanitize), across Train and Summarize.
+	MetricSanitizeRepairs = "sanitize_repairs_total"
+	// MetricSanitizeRejects counts trajectories the sanitizer rejected
+	// as unusable (fewer than 2 plausible samples).
+	MetricSanitizeRejects = "sanitize_rejects_total"
 )
 
 // ErrNotTrained is returned by Summarize before a training corpus has been
 // provided; feature selection needs historical knowledge.
 var ErrNotTrained = errors.New("stmaker: summarizer has no historical corpus; call Train first")
+
+// ErrInvalidInput marks errors caused by the caller's trajectory rather
+// than by the summarizer's own state: structural validation failures,
+// sanitizer rejections and calibration failures all wrap it. Servers use
+// IsInputError to map these to a 4xx while everything else (ErrNotTrained,
+// partition failures) stays a 5xx.
+var ErrInvalidInput = errors.New("stmaker: invalid trajectory input")
+
+// IsInputError reports whether err stems from the input trajectory (wraps
+// ErrInvalidInput) as opposed to server-side state.
+func IsInputError(err error) bool { return errors.Is(err, ErrInvalidInput) }
 
 // Config configures a Summarizer. Graph and Landmarks are required; every
 // other field has a sensible default matching the paper's experimental
@@ -119,6 +138,13 @@ type Config struct {
 	// corpus in parallel: 0 (default) uses GOMAXPROCS, 1 forces the
 	// serial path (the benchmark baseline).
 	TrainWorkers int
+	// Sanitize, when non-nil, repairs every raw trajectory (corpus and
+	// serve-time) before calibration: invalid fixes are dropped,
+	// timestamps re-sorted and deduplicated, teleport outliers and
+	// parked-antenna jitter removed (see internal/sanitize). Nil keeps
+	// the library's historical strict behaviour; cmd/stmakerd enables it
+	// by default. &sanitize.Options{} applies the default thresholds.
+	Sanitize *sanitize.Options
 	// Metrics receives the per-stage latency histograms and pipeline
 	// counters (see the Metric* constants); nil gives the Summarizer a
 	// private registry, exposed via Metrics().
@@ -136,6 +162,13 @@ type TrainStats struct {
 	// Transitions is the number of distinct landmark transitions in the
 	// historical feature map afterwards.
 	Transitions int
+	// Repaired is the number of corpus trajectories the input sanitizer
+	// (Config.Sanitize) had to repair before calibration; always 0 when
+	// sanitization is off.
+	Repaired int
+	// Repairs aggregates the sanitizer's per-kind repair counts over the
+	// whole corpus.
+	Repairs sanitize.Report
 }
 
 // Summarizer is the end-to-end STMaker pipeline. It is safe for concurrent
@@ -146,6 +179,7 @@ type Summarizer struct {
 	registry   *feature.Registry
 	ctx        *feature.Context
 	calibrator *calibrate.Calibrator
+	sanitizer  *sanitize.Sanitizer
 	templates  *summarize.TemplateSet
 	fallback   bool
 
@@ -230,6 +264,9 @@ func New(cfg Config) (*Summarizer, error) {
 		mx:        mx,
 		timers:    newStageTimers(mx),
 	}
+	if cfg.Sanitize != nil {
+		s.sanitizer = sanitize.New(*cfg.Sanitize)
+	}
 	return s, nil
 }
 
@@ -281,11 +318,15 @@ func (s *Summarizer) Calibrate(r *traj.Raw) (*traj.Symbolic, error) {
 // is deterministic regardless of worker count.
 func (s *Summarizer) Train(corpus []*traj.Raw) (TrainStats, error) {
 	defer s.timers.train.ObserveSince(time.Now())
-	calibrated := s.calibrateCorpus(corpus)
+	calibrated, reports := s.calibrateCorpus(corpus)
 
 	var stats TrainStats
 	symbolic := make([]*traj.Symbolic, 0, len(corpus))
-	for _, sym := range calibrated {
+	for i, sym := range calibrated {
+		stats.Repairs.Merge(reports[i])
+		if !reports[i].Clean() {
+			stats.Repaired++
+		}
 		if sym == nil {
 			stats.Skipped++
 			continue
@@ -295,6 +336,9 @@ func (s *Summarizer) Train(corpus []*traj.Raw) (TrainStats, error) {
 	}
 	s.mx.Counter(MetricTrainCalibrated).Add(int64(stats.Calibrated))
 	s.mx.Counter(MetricTrainSkipped).Add(int64(stats.Skipped))
+	if n := stats.Repairs.Repairs(); n > 0 {
+		s.mx.Counter(MetricSanitizeRepairs).Add(int64(n))
+	}
 	if len(symbolic) == 0 {
 		return stats, errors.New("stmaker: no corpus trajectory could be calibrated")
 	}
@@ -303,12 +347,30 @@ func (s *Summarizer) Train(corpus []*traj.Raw) (TrainStats, error) {
 	return stats, nil
 }
 
-// calibrateCorpus calibrates every corpus trajectory, in parallel when
-// more than one worker is configured, returning one slot per input (nil
-// where calibration failed). The calibrator is stateless per call and the
-// landmark index is immutable, so workers share them safely.
-func (s *Summarizer) calibrateCorpus(corpus []*traj.Raw) []*traj.Symbolic {
+// calibrateCorpus sanitizes (when configured) and calibrates every corpus
+// trajectory, in parallel when more than one worker is configured,
+// returning one symbolic slot and one repair report per input (nil
+// symbolic where sanitization rejected or calibration failed). The
+// calibrator and sanitizer are stateless per call and the landmark index
+// is immutable, so workers share them safely.
+func (s *Summarizer) calibrateCorpus(corpus []*traj.Raw) ([]*traj.Symbolic, []sanitize.Report) {
 	out := make([]*traj.Symbolic, len(corpus))
+	reports := make([]sanitize.Report, len(corpus))
+	one := func(i int) {
+		r := corpus[i]
+		if s.sanitizer != nil {
+			repaired, rep, err := s.sanitizer.Sanitize(r)
+			reports[i] = rep
+			if err != nil {
+				s.mx.Counter(MetricSanitizeRejects).Inc()
+				return
+			}
+			r = repaired
+		}
+		t0 := time.Now()
+		out[i], _ = s.calibrator.Calibrate(r)
+		s.timers.calibrate.ObserveSince(t0)
+	}
 	workers := s.cfg.TrainWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -317,12 +379,10 @@ func (s *Summarizer) calibrateCorpus(corpus []*traj.Raw) []*traj.Symbolic {
 		workers = len(corpus)
 	}
 	if workers <= 1 {
-		for i, r := range corpus {
-			t0 := time.Now()
-			out[i], _ = s.calibrator.Calibrate(r)
-			s.timers.calibrate.ObserveSince(t0)
+		for i := range corpus {
+			one(i)
 		}
-		return out
+		return out, reports
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -335,16 +395,15 @@ func (s *Summarizer) calibrateCorpus(corpus []*traj.Raw) []*traj.Symbolic {
 				if i >= len(corpus) {
 					return
 				}
-				// Each worker writes only its own slots; the histogram
-				// is atomic, so concurrent observation is safe.
-				t0 := time.Now()
-				out[i], _ = s.calibrator.Calibrate(corpus[i])
-				s.timers.calibrate.ObserveSince(t0)
+				// Each worker writes only its own slots; counters and
+				// histograms are atomic, so concurrent observation is
+				// safe.
+				one(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	return out, reports
 }
 
 // TrainSymbolic learns from pre-calibrated trajectories.
@@ -400,17 +459,68 @@ func (s *Summarizer) Summarize(r *traj.Raw) (*summarize.Summary, error) {
 // SummarizeK generates the summary with exactly k partitions (clamped to
 // the number of trajectory segments); k <= 0 uses the optimal partition.
 func (s *Summarizer) SummarizeK(r *traj.Raw, k int) (*summarize.Summary, error) {
+	return s.SummarizeKContext(context.Background(), r, k)
+}
+
+// SummarizeContext is Summarize with cancellation: the pipeline checks
+// ctx between stages (calibrate → extract → partition → select → render)
+// and aborts with ctx.Err() as soon as the deadline passes or the caller
+// cancels. Serving paths use it to bound per-request work.
+func (s *Summarizer) SummarizeContext(ctx context.Context, r *traj.Raw) (*summarize.Summary, error) {
+	return s.SummarizeKContext(ctx, r, s.cfg.K)
+}
+
+// SummarizeKContext is SummarizeK with cancellation (see
+// SummarizeContext). Input-shaped failures — sanitizer rejections and
+// calibration errors — wrap ErrInvalidInput so servers can map them to a
+// client error; cancellation surfaces as ctx.Err().
+func (s *Summarizer) SummarizeKContext(ctx context.Context, r *traj.Raw, k int) (*summarize.Summary, error) {
+	if err := s.checkCtx(ctx); err != nil {
+		return nil, err
+	}
+	if s.sanitizer != nil {
+		repaired, rep, err := s.sanitizer.Sanitize(r)
+		if err != nil {
+			s.mx.Counter(MetricSanitizeRejects).Inc()
+			s.mx.Counter(MetricSummarizeErrors).Inc()
+			return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
+		}
+		if n := rep.Repairs(); n > 0 {
+			s.mx.Counter(MetricSanitizeRepairs).Add(int64(n))
+		}
+		r = repaired
+	}
 	sym, err := s.Calibrate(r)
 	if err != nil {
 		s.mx.Counter(MetricSummarizeErrors).Inc()
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}
-	return s.SummarizeSymbolic(sym, k)
+	return s.summarizeSymbolic(ctx, sym, k)
 }
 
 // SummarizeSymbolic runs partitioning, feature selection and template
 // realization on an already-calibrated trajectory.
 func (s *Summarizer) SummarizeSymbolic(sym *traj.Symbolic, k int) (*summarize.Summary, error) {
+	return s.summarizeSymbolic(context.Background(), sym, k)
+}
+
+// SummarizeSymbolicContext is SummarizeSymbolic with per-stage
+// cancellation checks (see SummarizeContext).
+func (s *Summarizer) SummarizeSymbolicContext(ctx context.Context, sym *traj.Symbolic, k int) (*summarize.Summary, error) {
+	return s.summarizeSymbolic(ctx, sym, k)
+}
+
+// checkCtx is the between-stages cancellation checkpoint: expired or
+// cancelled contexts abort the pipeline, counted as summarize errors.
+func (s *Summarizer) checkCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		s.mx.Counter(MetricSummarizeErrors).Inc()
+		return err
+	}
+	return nil
+}
+
+func (s *Summarizer) summarizeSymbolic(ctx context.Context, sym *traj.Symbolic, k int) (*summarize.Summary, error) {
 	if !s.trained {
 		s.mx.Counter(MetricSummarizeErrors).Inc()
 		return nil, ErrNotTrained
@@ -418,17 +528,26 @@ func (s *Summarizer) SummarizeSymbolic(sym *traj.Symbolic, k int) (*summarize.Su
 	n := sym.NumSegments()
 	if n == 0 {
 		s.mx.Counter(MetricSummarizeErrors).Inc()
-		return nil, traj.ErrNotCalibrated
+		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, traj.ErrNotCalibrated)
 	}
 	defer s.timers.summarize.ObserveSince(time.Now())
 
+	if err := s.checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	tExtract := time.Now()
 	matrix := s.registry.ExtractAll(sym, s.ctx)
 	s.timers.extract.ObserveSince(tExtract)
 
+	if err := s.checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	res, err := s.partitionTrajectory(sym, matrix, k)
 	if err != nil {
 		s.mx.Counter(MetricSummarizeErrors).Inc()
+		return nil, err
+	}
+	if err := s.checkCtx(ctx); err != nil {
 		return nil, err
 	}
 
@@ -462,6 +581,9 @@ func (s *Summarizer) SummarizeSymbolic(sym *traj.Symbolic, k int) (*summarize.Su
 	}
 	s.timers.sel.ObserveSince(tSelect)
 
+	if err := s.checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	tRender := time.Now()
 	s.templates.RenderSummary(summary)
 	s.timers.render.ObserveSince(tRender)

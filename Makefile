@@ -1,5 +1,5 @@
 # Tier-1 gate: every change must keep `make check` green.
-.PHONY: check build vet test bench fuzz-smoke
+.PHONY: check build vet test bench bench-smoke fuzz-smoke
 
 check: build vet test
 
@@ -14,6 +14,12 @@ test:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that panic, fail
+# their setup, or silently rot, without the minutes a real run costs.
+# Run on every CI build; use `make bench` for real measurements.
+bench-smoke:
+	go test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Short randomized smoke of the fuzz targets (~30s total): enough to
 # catch shallow regressions on every CI run without a dedicated fuzz

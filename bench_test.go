@@ -468,6 +468,7 @@ func BenchmarkSummarizeHMMMatching(b *testing.B) {
 		b.Fatal(err)
 	}
 	trips := w.Test
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Summarize(trips[i%len(trips)].Raw); err != nil {

@@ -7,7 +7,7 @@
 //
 //	stmakerd -world world.json -train train.json [-addr :8080] [-pprof]
 //	         [-log text|json] [-max-body N] [-max-inflight N]
-//	         [-timeout D] [-drain D] [-no-sanitize]
+//	         [-timeout D] [-drain D] [-no-sanitize] [-hmm] [-sp-cache N]
 //
 // Endpoints (see docs/API.md for the wire format and docs/ROBUSTNESS.md
 // for the failure-mode contract):
@@ -51,6 +51,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request pipeline deadline (504 beyond; 0 disables)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 		noSanitize  = flag.Bool("no-sanitize", false, "disable input repair (sanitization) before calibration")
+		useHMM      = flag.Bool("hmm", false, "use HMM (Viterbi) map matching for routing features")
+		spCache     = flag.Int("sp-cache", 0, "shortest-path cache entries for HMM matching (0 default, <0 disables)")
 	)
 	flag.Parse()
 
@@ -77,7 +79,12 @@ func main() {
 	if err != nil {
 		fatal(logger, err)
 	}
-	cfg := stmaker.Config{Graph: graph, Landmarks: lms}
+	cfg := stmaker.Config{
+		Graph:          graph,
+		Landmarks:      lms,
+		UseHMMMatching: *useHMM,
+		SPCacheEntries: *spCache,
+	}
 	if !*noSanitize {
 		cfg.Sanitize = &sanitize.Options{}
 	}
@@ -116,6 +123,7 @@ func main() {
 		"repairs", stats.Repairs.Repairs(),
 		"transitions", stats.Transitions,
 		"sanitize", !*noSanitize,
+		"hmm", *useHMM,
 		"pprof", *pprofOn,
 	)
 

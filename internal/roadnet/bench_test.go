@@ -60,18 +60,103 @@ func BenchmarkNearestEdge(b *testing.B) {
 	}
 }
 
-func BenchmarkHMMMatch100Points(b *testing.B) {
-	g := benchGrid(10, 400)
-	h := NewHMMMatcher(g, HMMOptions{})
+func benchTrajectory(n int) []geo.Point {
 	rng := rand.New(rand.NewSource(11))
-	pts := make([]geo.Point, 100)
+	pts := make([]geo.Point, n)
 	for i := range pts {
 		base := geo.Destination(testOrigin, 90, float64(i)*30)
 		pts[i] = geo.Destination(base, rng.Float64()*360, rng.Float64()*15)
 	}
+	return pts
+}
+
+func BenchmarkHMMMatch100Points(b *testing.B) {
+	g := benchGrid(10, 400)
+	h := NewHMMMatcher(g, HMMOptions{})
+	pts := benchTrajectory(100)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.MatchPoints(pts)
+	}
+}
+
+// BenchmarkHMMMatch100PointsNaive measures the pre-optimization reference
+// decode (point-to-point Dijkstras per candidate pair) on the same input,
+// for a like-for-like fast-vs-naive comparison.
+func BenchmarkHMMMatch100PointsNaive(b *testing.B) {
+	g := benchGrid(10, 400)
+	h := newNaiveHMMMatcher(g, HMMOptions{})
+	pts := benchTrajectory(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.MatchPoints(pts)
+	}
+}
+
+// BenchmarkHMMMatch100PointsCached adds a warm shared SPCache, the
+// serving-path configuration of the Summarizer.
+func BenchmarkHMMMatch100PointsCached(b *testing.B) {
+	g := benchGrid(10, 400)
+	h := NewHMMMatcher(g, HMMOptions{Cache: NewSPCache(SPCacheOptions{})})
+	pts := benchTrajectory(100)
+	h.MatchPoints(pts) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.MatchPoints(pts)
+	}
+}
+
+// benchStepCandidates yields two consecutive candidate sets the way a
+// Viterbi step sees them, for the networkDistance benchmarks below.
+func benchStepCandidates(h *HMMMatcher) (prev, next []candidate, straight float64) {
+	pa := geo.Destination(geo.Destination(testOrigin, 90, 390), 0, 12)
+	pb := geo.Destination(geo.Destination(testOrigin, 90, 455), 0, 9)
+	return h.candidates(pa), h.candidates(pb), geo.Distance(pa, pb)
+}
+
+// BenchmarkNetworkDistanceNaive scores one full Viterbi transition step
+// (every prev×next candidate pair) with point-to-point Dijkstras, the
+// pre-optimization code path.
+func BenchmarkNetworkDistanceNaive(b *testing.B) {
+	g := benchGrid(10, 400)
+	h := newNaiveHMMMatcher(g, HMMOptions{})
+	prev, next, _ := benchStepCandidates(h)
+	if len(prev) == 0 || len(next) == 0 {
+		b.Fatal("no candidates")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range prev {
+			for _, c := range next {
+				h.networkDistance(a.match, c.match)
+			}
+		}
+	}
+}
+
+// BenchmarkNetworkDistanceFast scores the same transition step through the
+// bounded multi-target table build plus table lookups.
+func BenchmarkNetworkDistanceFast(b *testing.B) {
+	g := benchGrid(10, 400)
+	h := NewHMMMatcher(g, HMMOptions{})
+	prev, next, straight := benchStepCandidates(h)
+	if len(prev) == 0 || len(next) == 0 {
+		b.Fatal("no candidates")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := acquireStepScratch()
+		h.buildStepTable(sc, prev, next, straight)
+		for _, a := range prev {
+			for _, c := range next {
+				h.networkDistanceFast(sc, a.match, c.match)
+			}
+		}
+		releaseStepScratch(sc)
 	}
 }

@@ -2,6 +2,7 @@ package roadnet
 
 import (
 	"math"
+	"sync"
 
 	"stmaker/internal/geo"
 )
@@ -23,6 +24,12 @@ type HMMOptions struct {
 	CandidateRadiusMeters float64
 	// MaxCandidates caps candidates per sample (default 4).
 	MaxCandidates int
+	// Cache, when non-nil, shares node-to-node shortest-path distances
+	// across MatchPoints calls (and across goroutines — the cache is
+	// concurrency-safe). Transition distances repeat heavily between
+	// requests whose trajectories overlap, so serving paths should pass a
+	// process-wide cache; see SPCache.
+	Cache *SPCache
 }
 
 func (o HMMOptions) withDefaults() HMMOptions {
@@ -41,16 +48,42 @@ func (o HMMOptions) withDefaults() HMMOptions {
 	return o
 }
 
+// transitionBoundBetas bounds the per-step shortest-path searches of the
+// fast transition path: routes longer than straight + transitionBoundBetas
+// × Beta are not searched for, since their transition log-probability is
+// below -transitionBoundBetas (e⁻³⁰ relative likelihood) and cannot
+// plausibly win the Viterbi maximisation. Pairs beyond the bound are
+// floored at exactly that penalty.
+const transitionBoundBetas = 30
+
 // HMMMatcher decodes the most likely edge sequence of a GPS point series.
+// It is safe for concurrent MatchPoints calls: per-call scratch is pooled
+// and the optional distance cache is concurrency-safe.
 type HMMMatcher struct {
-	g    *Graph
-	m    *Matcher
-	opts HMMOptions
+	g     *Graph
+	m     *Matcher
+	opts  HMMOptions
+	cache *SPCache
+
+	// naive switches transition scoring to the pre-optimization reference
+	// implementation (one point-to-point Dijkstra per endpoint combination
+	// per candidate pair). Kept for equivalence tests and benchmarks.
+	naive bool
 }
 
 // NewHMMMatcher builds an HMM matcher over the graph.
 func NewHMMMatcher(g *Graph, opts HMMOptions) *HMMMatcher {
-	return &HMMMatcher{g: g, m: NewMatcher(g), opts: opts.withDefaults()}
+	return &HMMMatcher{g: g, m: NewMatcher(g), opts: opts.withDefaults(), cache: opts.Cache}
+}
+
+// newNaiveHMMMatcher builds a matcher whose transitions use the
+// pre-optimization per-pair searches — the reference implementation that
+// the fast path must reproduce byte for byte (see hmm_equiv_test.go).
+func newNaiveHMMMatcher(g *Graph, opts HMMOptions) *HMMMatcher {
+	h := NewHMMMatcher(g, opts)
+	h.naive = true
+	h.cache = nil
+	return h
 }
 
 // candidate is one per-sample state.
@@ -99,6 +132,12 @@ func (h *HMMMatcher) decodeRun(points []geo.Point, start int, out []*Match) int 
 		steps[0].back[i] = -1
 	}
 
+	var sc *stepScratch
+	if !h.naive {
+		sc = acquireStepScratch()
+		defer releaseStepScratch(sc)
+	}
+
 	end := start + 1
 	for ; end < len(points); end++ {
 		next := h.candidates(points[end])
@@ -107,12 +146,24 @@ func (h *HMMMatcher) decodeRun(points []geo.Point, start int, out []*Match) int 
 		}
 		prev := steps[len(steps)-1]
 		straight := geo.Distance(points[end-1], points[end])
+		if sc != nil {
+			// Fast path: one bounded multi-target search per distinct
+			// candidate endpoint node (≤ 2·MaxCandidates, cache misses
+			// only) replaces the naive 4 × |prev| × |next| point-to-point
+			// searches of this step.
+			h.buildStepTable(sc, prev.cands, next, straight)
+		}
 		nextProbs := make([]float64, len(next))
 		back := make([]int, len(next))
 		for j, nc := range next {
 			best, bestFrom := math.Inf(-1), -1
 			for i, pc := range prev.cands {
-				trans := h.transition(pc.match, nc.match, straight)
+				var trans float64
+				if sc != nil {
+					trans = h.transitionFast(sc, pc.match, nc.match, straight)
+				} else {
+					trans = h.transition(pc.match, nc.match, straight)
+				}
 				if p := probs[i] + trans; p > best {
 					best, bestFrom = p, i
 				}
@@ -154,7 +205,8 @@ func (h *HMMMatcher) candidates(p geo.Point) []candidate {
 // transition returns the log transition probability between consecutive
 // candidates: an exponential penalty on |network distance − straight-line
 // distance| (Newson & Krumm's key observation that correct matches make
-// the two nearly equal).
+// the two nearly equal). This is the naive-path scorer; the serving path
+// uses transitionFast over a per-step distance table.
 func (h *HMMMatcher) transition(a, b Match, straight float64) float64 {
 	network := h.networkDistance(a, b)
 	diff := math.Abs(network - straight)
@@ -164,7 +216,9 @@ func (h *HMMMatcher) transition(a, b Match, straight float64) float64 {
 // networkDistance approximates driving distance between two on-edge
 // positions: along-edge when both lie on the same edge, otherwise the
 // best combination of residual edge distance plus a node-level shortest
-// path between the edges' endpoints.
+// path between the edges' endpoints. It launches up to four full
+// point-to-point searches; kept as the reference implementation for the
+// fast path (networkDistanceFast).
 func (h *HMMMatcher) networkDistance(a, b Match) float64 {
 	if a.Edge.ID == b.Edge.ID {
 		return math.Abs(a.Along - b.Along)
@@ -199,8 +253,180 @@ func (h *HMMMatcher) networkDistance(a, b Match) float64 {
 	}
 	if math.IsInf(best, 1) {
 		// Disconnected in the directed graph: fall back to the straight
-		// line so the transition is merely very unlikely, not impossible.
-		return geo.Distance(a.Edge.Geometry[0], b.Edge.Geometry[0])
+		// line between the actual matched positions on each edge, so the
+		// transition is scored by how far apart the match points really
+		// are — merely very unlikely, not impossible.
+		return geo.Distance(a.Point(), b.Point())
+	}
+	return best
+}
+
+// stepScratch is the reusable per-step transition distance table of the
+// fast path: the distinct candidate endpoint nodes of the previous and
+// next Viterbi step, and one row of bounded shortest-path distances per
+// source node. Pooled so steady-state decoding allocates nothing here.
+type stepScratch struct {
+	maxCost float64
+	srcs    []NodeID    // distinct endpoint nodes of the previous step's candidates
+	tgts    []NodeID    // distinct endpoint nodes of the next step's candidates
+	rows    [][]float64 // rows[si][ti] = dist(srcs[si], tgts[ti]); +Inf beyond bound
+	rowBuf  []float64   // backing storage for rows
+
+	// search scratch for cache misses
+	missTgts []NodeID
+	missIdx  []int
+	missOut  []float64
+}
+
+var stepScratchPool = sync.Pool{New: func() any { return &stepScratch{} }}
+
+func acquireStepScratch() *stepScratch { return stepScratchPool.Get().(*stepScratch) }
+
+func releaseStepScratch(sc *stepScratch) { stepScratchPool.Put(sc) }
+
+// appendNodeDedup appends n unless already present (candidate endpoint
+// lists hold at most 2·MaxCandidates nodes, so a linear scan wins over any
+// set structure).
+func appendNodeDedup(list []NodeID, n NodeID) []NodeID {
+	for _, x := range list {
+		if x == n {
+			return list
+		}
+	}
+	return append(list, n)
+}
+
+// buildStepTable fills sc with the transition distances of one Viterbi
+// step: for every distinct endpoint node of the previous candidates, the
+// bounded shortest-path distance to every distinct endpoint node of the
+// next candidates. Distances come from the shared cache when possible;
+// the misses of each source node are resolved with a single bounded
+// multi-target search.
+func (h *HMMMatcher) buildStepTable(sc *stepScratch, prev, next []candidate, straight float64) {
+	sc.maxCost = straight + transitionBoundBetas*h.opts.BetaMeters
+	sc.srcs = sc.srcs[:0]
+	sc.tgts = sc.tgts[:0]
+	for _, c := range prev {
+		sc.srcs = appendNodeDedup(sc.srcs, c.match.Edge.From)
+		sc.srcs = appendNodeDedup(sc.srcs, c.match.Edge.To)
+	}
+	for _, c := range next {
+		sc.tgts = appendNodeDedup(sc.tgts, c.match.Edge.From)
+		sc.tgts = appendNodeDedup(sc.tgts, c.match.Edge.To)
+	}
+	nt := len(sc.tgts)
+	need := len(sc.srcs) * nt
+	if cap(sc.rowBuf) < need {
+		sc.rowBuf = make([]float64, need)
+	}
+	sc.rowBuf = sc.rowBuf[:need]
+	sc.rows = sc.rows[:0]
+	for si, src := range sc.srcs {
+		row := sc.rowBuf[si*nt : (si+1)*nt]
+		sc.rows = append(sc.rows, row)
+		h.fillRow(sc, src, row)
+	}
+}
+
+// fillRow resolves one source node's distances to every target: cache
+// first, then one bounded multi-target search over the misses, whose
+// results are written back to the cache.
+func (h *HMMMatcher) fillRow(sc *stepScratch, src NodeID, row []float64) {
+	sc.missTgts = sc.missTgts[:0]
+	sc.missIdx = sc.missIdx[:0]
+	for ti, t := range sc.tgts {
+		if src == t {
+			row[ti] = 0
+			continue
+		}
+		if d, ok := h.cache.Lookup(src, t, sc.maxCost); ok {
+			// A cached exact distance beyond the bound reads as unreached,
+			// keeping warm- and cold-cache decodes identical.
+			if d > sc.maxCost {
+				d = math.Inf(1)
+			}
+			row[ti] = d
+			continue
+		}
+		sc.missTgts = append(sc.missTgts, t)
+		sc.missIdx = append(sc.missIdx, ti)
+	}
+	if len(sc.missTgts) == 0 {
+		return
+	}
+	if cap(sc.missOut) < len(sc.missTgts) {
+		sc.missOut = make([]float64, len(sc.missTgts))
+	}
+	out := sc.missOut[:len(sc.missTgts)]
+	h.g.distancesFrom(src, sc.missTgts, sc.maxCost, ByDistance, out)
+	for i, ti := range sc.missIdx {
+		h.cache.Store(src, sc.missTgts[i], out[i], sc.maxCost)
+		row[ti] = out[i]
+	}
+}
+
+// dist looks a pair up in the step table. Both nodes are guaranteed
+// present by construction; +Inf is returned defensively otherwise.
+func (sc *stepScratch) dist(src, dst NodeID) float64 {
+	si := -1
+	for i, s := range sc.srcs {
+		if s == src {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		return math.Inf(1)
+	}
+	for i, t := range sc.tgts {
+		if t == dst {
+			return sc.rows[si][i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// transitionFast is transition over the step's precomputed distance table.
+func (h *HMMMatcher) transitionFast(sc *stepScratch, a, b Match, straight float64) float64 {
+	network := h.networkDistanceFast(sc, a, b)
+	diff := math.Abs(network - straight)
+	return -diff / h.opts.BetaMeters
+}
+
+// networkDistanceFast is networkDistance reading the node-level shortest
+// paths from the step table instead of searching per pair. Pairs whose
+// best route exceeds the step bound (or that are disconnected) are floored
+// at the bound, i.e. a log-probability of exactly -transitionBoundBetas.
+func (h *HMMMatcher) networkDistanceFast(sc *stepScratch, a, b Match) float64 {
+	if a.Edge.ID == b.Edge.ID {
+		return math.Abs(a.Along - b.Along)
+	}
+	best := math.Inf(1)
+	for _, fromEnd := range [2]struct {
+		node NodeID
+		cost float64
+	}{
+		{a.Edge.From, a.Along},
+		{a.Edge.To, a.Edge.Length() - a.Along},
+	} {
+		for _, toEnd := range [2]struct {
+			node NodeID
+			cost float64
+		}{
+			{b.Edge.From, b.Along},
+			{b.Edge.To, b.Edge.Length() - b.Along},
+		} {
+			var mid float64
+			if fromEnd.node != toEnd.node {
+				mid = sc.dist(fromEnd.node, toEnd.node)
+			}
+			if total := fromEnd.cost + mid + toEnd.cost; total < best {
+				best = total
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return sc.maxCost
 	}
 	return best
 }
@@ -209,13 +435,24 @@ func (h *HMMMatcher) networkDistance(a, b Match) float64 {
 // nearest first.
 func (m *Matcher) candidateEdges(p geo.Point, radius float64, max int) []Match {
 	hits := m.ix.Within(p, radius+matchSampleSpacing)
-	seen := make(map[int]bool)
+	// Dedupe with a small stack-backed slice: candidate lists are a
+	// handful of edges, and this runs once per GPS sample on the serving
+	// path, so a per-call map allocation is pure overhead.
+	var seenArr [16]int
+	seen := seenArr[:0]
 	var out []Match
 	for _, h := range hits {
-		if seen[h.ID] {
+		dup := false
+		for _, id := range seen {
+			if id == h.ID {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[h.ID] = true
+		seen = append(seen, h.ID)
 		e := m.g.Edge(EdgeID(h.ID))
 		d, seg, t := e.Geometry.NearestPoint(p)
 		if d > radius {

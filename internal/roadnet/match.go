@@ -45,17 +45,31 @@ type Match struct {
 	Along float64
 }
 
+// Point returns the matched position on the edge: the projection of the
+// GPS sample onto the edge geometry, Along metres from the From endpoint.
+func (m Match) Point() geo.Point { return m.Edge.Geometry.PointAt(m.Along) }
+
 // NearestEdge returns the edge closest to p within maxDist metres. The
 // boolean is false when no edge qualifies.
 func (m *Matcher) NearestEdge(p geo.Point, maxDist float64) (Match, bool) {
 	hits := m.ix.Within(p, maxDist+matchSampleSpacing)
 	best := Match{Distance: math.Inf(1)}
-	seen := make(map[int]bool)
+	// Small-slice dedupe, as in candidateEdges: this runs per sample on
+	// the greedy matching path.
+	var seenArr [16]int
+	seen := seenArr[:0]
 	for _, h := range hits {
-		if seen[h.ID] {
+		dup := false
+		for _, id := range seen {
+			if id == h.ID {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[h.ID] = true
+		seen = append(seen, h.ID)
 		e := m.g.Edge(EdgeID(h.ID))
 		d, seg, t := e.Geometry.NearestPoint(p)
 		if d < best.Distance {

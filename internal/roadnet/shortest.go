@@ -1,7 +1,6 @@
 package roadnet
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -41,31 +40,9 @@ func (p *Path) NodeIDs(source NodeID) []NodeID {
 	return out
 }
 
-// priority queue for Dijkstra.
-type pqItem struct {
-	node NodeID
-	dist float64
-	idx  int
-}
-
-type pq []*pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
-func (q *pq) Push(x interface{}) { it := x.(*pqItem); it.idx = len(*q); *q = append(*q, it) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
-}
-
 // ShortestPath computes the minimum-cost path from src to dst under the
-// given weight function using Dijkstra's algorithm. It returns ErrNoPath if
-// dst is unreachable.
+// given weight function using Dijkstra's algorithm over pooled search state
+// (see searchstate.go). It returns ErrNoPath if dst is unreachable.
 func (g *Graph) ShortestPath(src, dst NodeID, weight WeightFunc) (*Path, error) {
 	if weight == nil {
 		weight = ByDistance
@@ -78,72 +55,45 @@ func (g *Graph) ShortestPath(src, dst NodeID, weight WeightFunc) (*Path, error) 
 		return &Path{}, nil
 	}
 
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	type pred struct {
-		node NodeID
-		arc  arc
-		ok   bool
-	}
-	prev := make([]pred, n)
-	dist[src] = 0
-
-	q := &pq{}
-	heap.Init(q)
-	items := make(map[NodeID]*pqItem, n)
-	start := &pqItem{node: src, dist: 0}
-	heap.Push(q, start)
-	items[src] = start
-
-	done := make([]bool, n)
-	for q.Len() > 0 {
-		cur := heap.Pop(q).(*pqItem)
+	s := acquireSearch(n)
+	defer releaseSearch(s)
+	s.reach(src, 0, pred{})
+	for len(s.heap) > 0 {
+		cur := s.heap.pop()
 		u := cur.node
-		if done[u] {
-			continue
+		if s.settled[u] == s.gen {
+			continue // stale duplicate from lazy insertion
 		}
-		done[u] = true
+		s.settled[u] = s.gen
 		if u == dst {
 			break
 		}
+		du := s.dist[u]
 		for _, a := range g.out[u] {
 			e := &g.edges[a.edge]
 			v := e.To
 			if a.reverse {
 				v = e.From
 			}
-			if done[v] {
+			if s.settled[v] == s.gen {
 				continue
 			}
 			w := weight(e, a.reverse)
 			if w < 0 {
 				w = 0
 			}
-			nd := dist[u] + w
-			if nd < dist[v] {
-				dist[v] = nd
-				prev[v] = pred{node: u, arc: a, ok: true}
-				if it, exists := items[v]; exists && it.idx >= 0 && it.idx < q.Len() && (*q)[it.idx] == it {
-					it.dist = nd
-					heap.Fix(q, it.idx)
-				} else {
-					it := &pqItem{node: v, dist: nd}
-					heap.Push(q, it)
-					items[v] = it
-				}
-			}
+			s.reach(v, du+w, pred{node: u, arc: a, ok: true})
 		}
 	}
 
-	if math.IsInf(dist[dst], 1) {
+	if math.IsInf(s.distTo(dst), 1) {
 		return nil, ErrNoPath
 	}
+	cost := s.dist[dst]
 	// Reconstruct.
 	var rev []PathStep
 	for at := dst; at != src; {
-		p := prev[at]
+		p := s.prev[at]
 		if !p.ok {
 			return nil, ErrNoPath
 		}
@@ -155,5 +105,5 @@ func (g *Graph) ShortestPath(src, dst NodeID, weight WeightFunc) (*Path, error) 
 	for i := range rev {
 		steps[i] = rev[len(rev)-1-i]
 	}
-	return &Path{Steps: steps, Cost: dist[dst]}, nil
+	return &Path{Steps: steps, Cost: cost}, nil
 }

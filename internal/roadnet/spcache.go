@@ -1,0 +1,245 @@
+package roadnet
+
+import (
+	"math"
+	"sync"
+
+	"stmaker/internal/metrics"
+)
+
+// SPCache is a concurrency-safe sharded LRU cache of node-to-node shortest
+// path distances, shared across requests by the serving path: every HMM
+// Viterbi step reuses the transition distances of any earlier step — or any
+// concurrent request — that touched the same candidate nodes, which on real
+// road networks happens constantly (trajectories overlap and candidates
+// repeat along a road).
+//
+// Two kinds of entries are stored per (src, dst) pair:
+//
+//   - An exact distance d: valid forever (graphs are immutable once
+//     served), because a bounded search that settles a node has found its
+//     true shortest distance.
+//   - An "unreached within bound b" marker: valid for any lookup whose
+//     bound is <= b; a lookup needing a larger bound is a miss and
+//     re-searches.
+//
+// The cache is sharded to keep lock contention negligible under concurrent
+// Summarize calls; each shard is an independent mutex-guarded LRU list.
+// A nil *SPCache is valid and never hits, so callers need no branching.
+type SPCache struct {
+	shards []spShard
+	mask   uint64
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+}
+
+// DefaultSPCacheEntries is the capacity used when SPCacheOptions.Capacity
+// is zero: at 24 bytes an entry plus map overhead this is a few MiB, sized
+// for city-scale candidate-node working sets.
+const DefaultSPCacheEntries = 1 << 16
+
+// spCacheShards is the shard count (power of two). 16 shards keep
+// contention negligible for the request concurrencies stmakerd allows.
+const spCacheShards = 16
+
+// SPCacheOptions configures NewSPCache. Counter fields may be nil; the
+// cache then keeps private counters, still readable through Stats.
+type SPCacheOptions struct {
+	// Capacity is the total entry budget across shards (0 uses
+	// DefaultSPCacheEntries; minimum one entry per shard).
+	Capacity int
+	// Hits, Misses and Evictions, when non-nil, are incremented on the
+	// corresponding cache events — pass counters from a metrics.Registry to
+	// expose roadnet_sp_cache_{hits,misses,evictions}_total.
+	Hits, Misses, Evictions *metrics.Counter
+}
+
+// NewSPCache builds an SPCache.
+func NewSPCache(opts SPCacheOptions) *SPCache {
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = DefaultSPCacheEntries
+	}
+	perShard := (capacity + spCacheShards - 1) / spCacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &SPCache{
+		shards:    make([]spShard, spCacheShards),
+		mask:      spCacheShards - 1,
+		hits:      opts.Hits,
+		misses:    opts.Misses,
+		evictions: opts.Evictions,
+	}
+	if c.hits == nil {
+		c.hits = &metrics.Counter{}
+	}
+	if c.misses == nil {
+		c.misses = &metrics.Counter{}
+	}
+	if c.evictions == nil {
+		c.evictions = &metrics.Counter{}
+	}
+	for i := range c.shards {
+		c.shards[i].init(perShard)
+	}
+	return c
+}
+
+// SPCacheStats is a point-in-time read of the cache counters and size.
+type SPCacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+// Stats reads the counters and current entry count.
+func (c *SPCache) Stats() SPCacheStats {
+	if c == nil {
+		return SPCacheStats{}
+	}
+	s := SPCacheStats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// spKey packs a (src, dst) node pair into one map key.
+type spKey uint64
+
+func makeSPKey(src, dst NodeID) spKey {
+	return spKey(uint64(uint32(src))<<32 | uint64(uint32(dst)))
+}
+
+// shardOf picks the shard of a key via Fibonacci hashing, so pairs that
+// share a source still spread across shards.
+func (c *SPCache) shardOf(k spKey) *spShard {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	return &c.shards[(h>>48)&c.mask]
+}
+
+// Lookup returns the cached shortest distance from src to dst, if the
+// cache can answer for the given search bound. On a hit, dist is either
+// the exact distance (possibly greater than bound — callers enforce their
+// own bound) or +Inf, meaning "known unreached within a bound >= bound".
+// A nil cache always misses without counting.
+func (c *SPCache) Lookup(src, dst NodeID, bound float64) (dist float64, ok bool) {
+	if c == nil {
+		return 0, false
+	}
+	k := makeSPKey(src, dst)
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	e := sh.entries[k]
+	if e == nil || (math.IsInf(e.dist, 1) && e.bound < bound) {
+		sh.mu.Unlock()
+		c.misses.Inc()
+		return 0, false
+	}
+	sh.moveToFront(e)
+	dist = e.dist
+	sh.mu.Unlock()
+	c.hits.Inc()
+	return dist, true
+}
+
+// Store records the outcome of a bounded search for the (src, dst) pair:
+// dist is the exact shortest distance when finite, or +Inf meaning the
+// search's bound was exhausted without settling dst. Exact distances
+// always overwrite; an unreached marker only widens a previous marker's
+// bound, never replaces an exact distance.
+func (c *SPCache) Store(src, dst NodeID, dist, bound float64) {
+	if c == nil {
+		return
+	}
+	k := makeSPKey(src, dst)
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	if e := sh.entries[k]; e != nil {
+		if math.IsInf(dist, 1) {
+			if math.IsInf(e.dist, 1) && bound > e.bound {
+				e.bound = bound
+			}
+		} else {
+			e.dist, e.bound = dist, 0
+		}
+		sh.moveToFront(e)
+		sh.mu.Unlock()
+		return
+	}
+	evicted := sh.insert(k, dist, bound)
+	sh.mu.Unlock()
+	if evicted {
+		c.evictions.Inc()
+	}
+}
+
+// spEntry is one cache slot, intrusively linked into its shard's LRU list.
+type spEntry struct {
+	key        spKey
+	dist       float64 // exact distance, or +Inf (unreached within bound)
+	bound      float64 // bound of an unreached marker; 0 for exact entries
+	prev, next *spEntry
+}
+
+// spShard is one LRU segment: a map for lookup plus a circular
+// doubly-linked list with a sentinel head ordered most- to
+// least-recently-used.
+type spShard struct {
+	mu      sync.Mutex
+	entries map[spKey]*spEntry
+	head    spEntry // sentinel: head.next is MRU, head.prev is LRU
+	cap     int
+}
+
+func (sh *spShard) init(capacity int) {
+	sh.entries = make(map[spKey]*spEntry, capacity)
+	sh.head.prev = &sh.head
+	sh.head.next = &sh.head
+	sh.cap = capacity
+}
+
+func (sh *spShard) moveToFront(e *spEntry) {
+	if sh.head.next == e {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	sh.pushFront(e)
+}
+
+func (sh *spShard) pushFront(e *spEntry) {
+	e.prev = &sh.head
+	e.next = sh.head.next
+	e.next.prev = e
+	sh.head.next = e
+}
+
+// insert adds a new entry, reusing the evicted LRU slot when at capacity.
+// It reports whether an eviction happened.
+func (sh *spShard) insert(k spKey, dist, bound float64) bool {
+	var e *spEntry
+	evicted := false
+	if len(sh.entries) >= sh.cap {
+		e = sh.head.prev // LRU victim
+		e.prev.next = &sh.head
+		sh.head.prev = e.prev
+		delete(sh.entries, e.key)
+		evicted = true
+	} else {
+		e = &spEntry{}
+	}
+	e.key, e.dist, e.bound = k, dist, bound
+	sh.entries[k] = e
+	sh.pushFront(e)
+	return evicted
+}

@@ -1,0 +1,153 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stmaker/internal/metrics"
+)
+
+func TestSPCacheStoreLookup(t *testing.T) {
+	c := NewSPCache(SPCacheOptions{Capacity: 128})
+	if _, ok := c.Lookup(1, 2, 100); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Store(1, 2, 42.5, 0)
+	d, ok := c.Lookup(1, 2, 100)
+	if !ok || d != 42.5 {
+		t.Fatalf("lookup = %v, %v", d, ok)
+	}
+	// Direction matters: (2,1) is a different pair.
+	if _, ok := c.Lookup(2, 1, 100); ok {
+		t.Fatal("reverse pair should miss")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSPCacheUnreachedBoundSemantics(t *testing.T) {
+	c := NewSPCache(SPCacheOptions{Capacity: 128})
+	inf := math.Inf(1)
+	c.Store(3, 4, inf, 500) // unreached within 500
+
+	// A lookup needing less (or equal) bound is answered: still unreached.
+	if d, ok := c.Lookup(3, 4, 400); !ok || !math.IsInf(d, 1) {
+		t.Fatalf("narrow-bound lookup = %v, %v", d, ok)
+	}
+	// A lookup needing a larger bound must re-search.
+	if _, ok := c.Lookup(3, 4, 600); ok {
+		t.Fatal("wide-bound lookup should miss")
+	}
+	// Storing a wider unreached marker widens the valid range.
+	c.Store(3, 4, inf, 800)
+	if d, ok := c.Lookup(3, 4, 600); !ok || !math.IsInf(d, 1) {
+		t.Fatalf("widened lookup = %v, %v", d, ok)
+	}
+	// A narrower marker must not shrink it back.
+	c.Store(3, 4, inf, 100)
+	if _, ok := c.Lookup(3, 4, 600); !ok {
+		t.Fatal("narrower marker shrank the bound")
+	}
+	// An exact distance replaces the marker for good.
+	c.Store(3, 4, 950, 0)
+	if d, ok := c.Lookup(3, 4, 600); !ok || d != 950 {
+		t.Fatalf("exact overwrite lookup = %v, %v", d, ok)
+	}
+	// ... and a later unreached marker must not clobber the exact value.
+	c.Store(3, 4, inf, 2000)
+	if d, ok := c.Lookup(3, 4, 600); !ok || d != 950 {
+		t.Fatalf("marker clobbered exact value: %v, %v", d, ok)
+	}
+}
+
+func TestSPCacheEvictsAtCapacity(t *testing.T) {
+	c := NewSPCache(SPCacheOptions{Capacity: 32})
+	for i := 0; i < 500; i++ {
+		c.Store(NodeID(i), NodeID(i+1), float64(i), 0)
+	}
+	s := c.Stats()
+	if s.Entries > 32 {
+		t.Fatalf("cache grew past capacity: %+v", s)
+	}
+	if s.Evictions < 500-32 {
+		t.Fatalf("expected ~%d evictions, got %+v", 500-32, s)
+	}
+}
+
+func TestSPShardLRUOrder(t *testing.T) {
+	var sh spShard
+	sh.init(2)
+	sh.insert(1, 10, 0)
+	sh.insert(2, 20, 0)
+	// Touch key 1 so key 2 becomes the LRU victim.
+	sh.moveToFront(sh.entries[1])
+	if evicted := sh.insert(3, 30, 0); !evicted {
+		t.Fatal("insert at capacity should evict")
+	}
+	if _, ok := sh.entries[2]; ok {
+		t.Fatal("LRU victim (key 2) survived")
+	}
+	if sh.entries[1] == nil || sh.entries[3] == nil {
+		t.Fatalf("expected keys 1 and 3 to remain, have %d entries", len(sh.entries))
+	}
+}
+
+func TestSPCacheNilSafe(t *testing.T) {
+	var c *SPCache
+	if _, ok := c.Lookup(1, 2, 100); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Store(1, 2, 3, 0) // must not panic
+	if s := c.Stats(); s != (SPCacheStats{}) {
+		t.Fatalf("nil stats = %+v", s)
+	}
+}
+
+func TestSPCacheWiredCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewSPCache(SPCacheOptions{
+		Capacity:  64,
+		Hits:      reg.Counter("hits"),
+		Misses:    reg.Counter("misses"),
+		Evictions: reg.Counter("evictions"),
+	})
+	c.Lookup(1, 2, 10) // miss
+	c.Store(1, 2, 5, 0)
+	c.Lookup(1, 2, 10) // hit
+	snap := reg.Snapshot()
+	if snap.Counters["hits"] != 1 || snap.Counters["misses"] != 1 {
+		t.Fatalf("registry counters = %+v", snap.Counters)
+	}
+}
+
+func TestSPCacheConcurrentSmoke(t *testing.T) {
+	c := NewSPCache(SPCacheOptions{Capacity: 256})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				src := NodeID(rng.Intn(64))
+				dst := NodeID(rng.Intn(64))
+				if d, ok := c.Lookup(src, dst, 1000); ok && !math.IsInf(d, 1) {
+					// Values are keyed deterministically, so a hit must
+					// carry the key's value even under churn.
+					if want := float64(src)*1000 + float64(dst); d != want {
+						panic("corrupt cache value")
+					}
+				}
+				c.Store(src, dst, float64(src)*1000+float64(dst), 0)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Entries > 256 {
+		t.Fatalf("cache exceeded capacity under concurrency: %+v", s)
+	}
+}

@@ -10,7 +10,10 @@ import (
 	"testing"
 
 	"stmaker"
+	"stmaker/internal/hits"
 	"stmaker/internal/metrics"
+	"stmaker/internal/simulate"
+	"stmaker/internal/traj"
 )
 
 // scrape GETs /metrics and decodes the snapshot.
@@ -158,6 +161,57 @@ func TestConcurrentSummarizeWhileScraping(t *testing.T) {
 	if snap.Counters[stmaker.MetricSummaries] < workers*rounds {
 		t.Errorf("%s = %d, want >= %d",
 			stmaker.MetricSummaries, snap.Counters[stmaker.MetricSummaries], workers*rounds)
+	}
+}
+
+// TestMetricsExposeSPCacheCounters checks that a summarizer configured for
+// HMM matching surfaces its shared shortest-path cache counters through
+// GET /metrics (docs/OBSERVABILITY.md).
+func TestMetricsExposeSPCacheCounters(t *testing.T) {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 6, Cols: 6, Seed: 71})
+	checkins := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 72})
+	city.Landmarks.InferSignificance(200, checkins, hits.Options{})
+	s, err := stmaker.New(stmaker.Config{
+		Graph:          city.Graph,
+		Landmarks:      city.Landmarks,
+		UseHMMMatching: true,
+		SPCacheEntries: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 60, Seed: 73, FixedHour: -1, Calm: true})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		t.Fatal(err)
+	}
+	hmmSrv, err := NewWithOptions(s, Options{Logger: DiscardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trips := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 3, Seed: 74, FixedHour: 9})
+	for _, tr := range trips {
+		if rec := post(t, hmmSrv, "/summarize", SummarizeRequest{Trajectory: tr.Raw}); rec.Code != http.StatusOK {
+			t.Fatalf("summarize status = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	snap := scrape(t, hmmSrv)
+	for _, name := range []string{
+		stmaker.MetricSPCacheHits,
+		stmaker.MetricSPCacheMisses,
+		stmaker.MetricSPCacheEvictions,
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %s missing from /metrics", name)
+		}
+	}
+	if snap.Counters[stmaker.MetricSPCacheMisses] == 0 {
+		t.Errorf("%s = 0 after HMM-matched summaries", stmaker.MetricSPCacheMisses)
 	}
 }
 

@@ -81,6 +81,16 @@ const (
 	// MetricSanitizeRejects counts trajectories the sanitizer rejected
 	// as unusable (fewer than 2 plausible samples).
 	MetricSanitizeRejects = "sanitize_rejects_total"
+
+	// MetricSPCacheHits counts lookups answered by the shared
+	// shortest-path distance cache behind HMM map matching
+	// (Config.UseHMMMatching; see roadnet.SPCache).
+	MetricSPCacheHits = "roadnet_sp_cache_hits_total"
+	// MetricSPCacheMisses counts cache lookups that fell through to a
+	// bounded graph search.
+	MetricSPCacheMisses = "roadnet_sp_cache_misses_total"
+	// MetricSPCacheEvictions counts LRU evictions from the cache.
+	MetricSPCacheEvictions = "roadnet_sp_cache_evictions_total"
 )
 
 // ErrNotTrained is returned by Summarize before a training corpus has been
@@ -134,6 +144,14 @@ type Config struct {
 	// nearest-edge map matching to HMM (Viterbi) matching — slower but
 	// robust to GPS noise near parallel roads.
 	UseHMMMatching bool
+	// SPCacheEntries sizes the shared shortest-path distance cache behind
+	// HMM map matching: transition distances repeat across overlapping
+	// trajectories, so concurrent Summarize calls feed one process-wide
+	// sharded LRU (see roadnet.SPCache). 0 uses
+	// roadnet.DefaultSPCacheEntries; negative disables the cache. Ignored
+	// unless UseHMMMatching is set. Cache traffic is reported by the
+	// roadnet_sp_cache_* counters.
+	SPCacheEntries int
 	// TrainWorkers bounds the goroutines Train uses to calibrate the
 	// corpus in parallel: 0 (default) uses GOMAXPROCS, 1 forces the
 	// serial path (the benchmark baseline).
@@ -244,12 +262,21 @@ func New(cfg Config) (*Summarizer, error) {
 	}
 	reg := feature.NewDefaultRegistry()
 	ctx := feature.NewContext(cfg.Graph, roadnet.NewMatcher(cfg.Graph), cfg.Landmarks)
-	if cfg.UseHMMMatching {
-		ctx.HMM = roadnet.NewHMMMatcher(cfg.Graph, roadnet.HMMOptions{})
-	}
 	mx := cfg.Metrics
 	if mx == nil {
 		mx = metrics.NewRegistry()
+	}
+	if cfg.UseHMMMatching {
+		var cache *roadnet.SPCache
+		if cfg.SPCacheEntries >= 0 {
+			cache = roadnet.NewSPCache(roadnet.SPCacheOptions{
+				Capacity:  cfg.SPCacheEntries,
+				Hits:      mx.Counter(MetricSPCacheHits),
+				Misses:    mx.Counter(MetricSPCacheMisses),
+				Evictions: mx.Counter(MetricSPCacheEvictions),
+			})
+		}
+		ctx.HMM = roadnet.NewHMMMatcher(cfg.Graph, roadnet.HMMOptions{Cache: cache})
 	}
 	s := &Summarizer{
 		cfg:      cfg,

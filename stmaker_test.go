@@ -324,6 +324,85 @@ func TestSummarizeWithHMMMatching(t *testing.T) {
 	}
 }
 
+// TestConcurrentHMMSummarizeSharedCache hammers the one shortest-path
+// cache every HMM-matching request shares, from many goroutines at once.
+// Run under -race by make check; the cache counters prove it was hit.
+func TestConcurrentHMMSummarizeSharedCache(t *testing.T) {
+	city, s := newWorld(t, func(c *Config) {
+		c.UseHMMMatching = true
+		c.SPCacheEntries = 8192
+	})
+	trips := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 8, Seed: 93, FixedHour: 9})
+
+	// Golden serial results: the shared cache must not change what any
+	// concurrent request returns.
+	golden := make([]*summarize.Summary, len(trips))
+	for i, tr := range trips {
+		sum, err := s.Summarize(tr.Raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden[i] = sum
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(trips)*4)
+	diverged := make(chan string, len(trips)*4)
+	for round := 0; round < 4; round++ {
+		for i, tr := range trips {
+			wg.Add(1)
+			go func(i int, r *traj.Raw) {
+				defer wg.Done()
+				sum, err := s.Summarize(r)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sum.Text != golden[i].Text {
+					diverged <- sum.Text
+				}
+			}(i, tr.Raw)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	close(diverged)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for text := range diverged {
+		t.Fatalf("concurrent summary diverged from serial result: %q", text)
+	}
+
+	snap := s.Metrics().Snapshot()
+	if snap.Counters[MetricSPCacheHits] == 0 {
+		t.Fatalf("shared SP cache never hit: %+v", snap.Counters)
+	}
+	if snap.Counters[MetricSPCacheMisses] == 0 {
+		t.Fatalf("shared SP cache never missed: %+v", snap.Counters)
+	}
+}
+
+// TestHMMSPCacheDisabled pins the Config escape hatch: a negative
+// SPCacheEntries turns the cache off entirely, so its counters never
+// register while HMM matching keeps working.
+func TestHMMSPCacheDisabled(t *testing.T) {
+	city, s := newWorld(t, func(c *Config) {
+		c.UseHMMMatching = true
+		c.SPCacheEntries = -1
+	})
+	trip := eventfulTrip(t, city, 97)
+	if _, err := s.Summarize(trip.Raw); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Metrics().Snapshot()
+	for _, name := range []string{MetricSPCacheHits, MetricSPCacheMisses, MetricSPCacheEvictions} {
+		if _, ok := snap.Counters[name]; ok {
+			t.Fatalf("disabled cache registered counter %s: %+v", name, snap.Counters)
+		}
+	}
+}
+
 func TestAccessorsAndClones(t *testing.T) {
 	city, s := newWorld(t, nil)
 	if !s.Trained() {

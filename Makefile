@@ -1,13 +1,20 @@
 # Tier-1 gate: every change must keep `make check` green.
-.PHONY: check build vet test bench bench-smoke fuzz-smoke
+.PHONY: check build vet lint test bench bench-smoke fuzz-smoke
 
-check: build vet test
+check: build vet lint test
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+	go vet -unsafeptr=true ./...
+
+# Project-specific static analysis: metric naming/doc sync, lat/lng
+# argument order, exact float comparison, context discipline and
+# sync.Pool pairing. See docs/STATIC_ANALYSIS.md.
+lint:
+	go run ./cmd/stmaker-lint
 
 test:
 	go test -race ./...

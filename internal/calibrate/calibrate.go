@@ -123,7 +123,7 @@ func (c *Calibrator) collectAnchors(r *traj.Raw) []anchor {
 		walked += segLen
 	}
 	sort.Slice(anchors, func(i, j int) bool {
-		if anchors[i].along != anchors[j].along {
+		if anchors[i].along != anchors[j].along { //lint:allow floateq -- sort comparator: exact tie-break on equal keys is intended
 			return anchors[i].along < anchors[j].along
 		}
 		return anchors[i].landmarkID < anchors[j].landmarkID
@@ -160,7 +160,7 @@ func dedupeAnchors(anchors []anchor, revisitGap float64) []anchor {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].along != out[j].along {
+		if out[i].along != out[j].along { //lint:allow floateq -- sort comparator: exact tie-break on equal keys is intended
 			return out[i].along < out[j].along
 		}
 		return out[i].landmarkID < out[j].landmarkID

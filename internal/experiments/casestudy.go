@@ -93,7 +93,8 @@ func CompressionStudy(w *World, n int) (*CompressionResult, error) {
 	if n <= 0 || n > len(w.Test) {
 		n = len(w.Test)
 	}
-	var rawBytes, sumBytes, count float64
+	var rawBytes, sumBytes float64
+	count := 0
 	for _, trip := range w.Test[:n] {
 		sum, err := w.Summarizer.Summarize(trip.Raw)
 		if err != nil {
@@ -111,9 +112,9 @@ func CompressionStudy(w *World, n int) (*CompressionResult, error) {
 		return nil, fmt.Errorf("experiments: no trip could be summarized")
 	}
 	res := &CompressionResult{
-		Trips:           int(count),
-		AvgRawBytes:     rawBytes / count,
-		AvgSummaryBytes: sumBytes / count,
+		Trips:           count,
+		AvgRawBytes:     rawBytes / float64(count),
+		AvgSummaryBytes: sumBytes / float64(count),
 	}
 	if res.AvgSummaryBytes > 0 {
 		res.Ratio = res.AvgRawBytes / res.AvgSummaryBytes

@@ -84,7 +84,7 @@ func AngleDiff(a, b float64) float64 {
 // Destination returns the point reached by travelling dist metres from p on
 // the given initial bearing (degrees clockwise from north).
 func Destination(p Point, bearingDeg, dist float64) Point {
-	if dist == 0 {
+	if dist == 0 { //lint:allow floateq -- exact zero is a fast path, not a tolerance check
 		return p
 	}
 	ang := dist / EarthRadiusMeters
@@ -99,11 +99,20 @@ func Destination(p Point, bearingDeg, dist float64) Point {
 	return Point{Lat: rad2deg(lat2), Lng: normalizeLng(rad2deg(lng2))}
 }
 
+// normalizeLng wraps a longitude into [-180, 180]. math.Mod keeps it O(1)
+// for arbitrarily large inputs (the loop it replaces ran one iteration per
+// 360° of excess — effectively forever for inputs like 1e18). Values that
+// are already in range, including the -180 boundary, pass through
+// unchanged; NaN and ±Inf are returned as-is since no wrap is meaningful.
 func normalizeLng(lng float64) float64 {
-	for lng > 180 {
-		lng -= 360
+	if math.IsNaN(lng) || math.IsInf(lng, 0) {
+		return lng
 	}
-	for lng < -180 {
+	lng = math.Mod(lng, 360)
+	switch {
+	case lng > 180:
+		lng -= 360
+	case lng < -180:
 		lng += 360
 	}
 	return lng
@@ -139,7 +148,7 @@ func PointSegmentDistance(p, a, b Point) (dist, t float64) {
 	px, py := toXY(p)
 	bx, by := toXY(b)
 	segLen2 := bx*bx + by*by
-	if segLen2 == 0 {
+	if segLen2 == 0 { //lint:allow floateq -- degenerate zero-length segment guard
 		return Distance(p, a), 0
 	}
 	t = (px*bx + py*by) / segLen2

@@ -261,3 +261,68 @@ func TestDestinationCrossesAntimeridian(t *testing.T) {
 		t.Fatalf("wrapped distance = %v", d)
 	}
 }
+
+func TestNormalizeLng(t *testing.T) {
+	cases := []struct {
+		name string
+		in   float64
+		want float64
+	}{
+		{"in range", 116.4, 116.4},
+		{"zero", 0, 0},
+		{"boundary +180", 180, 180},
+		{"boundary -180", -180, -180},
+		{"wrap east", 190, -170},
+		{"wrap west", -190, 170},
+		{"full turn", 360, 0},
+		{"full turn negative", -360, 0},
+		{"many turns", 360*3 + 45, 45},
+		{"many negative turns", -360*5 - 45, -45},
+		{"extreme positive", 1e18, math.Mod(1e18, 360)},
+		{"extreme negative", -1e18, math.Mod(-1e18, 360)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := normalizeLng(tc.in)
+			if got < -180 || got > 180 {
+				t.Fatalf("normalizeLng(%v) = %v, outside [-180, 180]", tc.in, got)
+			}
+			// Allow an extra wrap for the extreme cases where math.Mod of the
+			// expected value itself may sit outside (-180, 180].
+			want := tc.want
+			if want > 180 {
+				want -= 360
+			} else if want < -180 {
+				want += 360
+			}
+			if !near(got, want, 1e-9) {
+				t.Fatalf("normalizeLng(%v) = %v, want %v", tc.in, got, want)
+			}
+		})
+	}
+}
+
+func TestNormalizeLngNonFinite(t *testing.T) {
+	if got := normalizeLng(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("normalizeLng(NaN) = %v, want NaN", got)
+	}
+	if got := normalizeLng(math.Inf(1)); !math.IsInf(got, 1) {
+		t.Fatalf("normalizeLng(+Inf) = %v, want +Inf", got)
+	}
+	if got := normalizeLng(math.Inf(-1)); !math.IsInf(got, -1) {
+		t.Fatalf("normalizeLng(-Inf) = %v, want -Inf", got)
+	}
+}
+
+func TestNormalizeLngQuick(t *testing.T) {
+	inRange := func(lng float64) bool {
+		if math.IsNaN(lng) || math.IsInf(lng, 0) {
+			return true
+		}
+		got := normalizeLng(lng)
+		return got >= -180 && got <= 180
+	}
+	if err := quick.Check(inRange, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,7 +38,7 @@ func (pl Polyline) PointAt(dist float64) Point {
 	for i := 1; i < len(pl); i++ {
 		seg := Distance(pl[i-1], pl[i])
 		if walked+seg >= dist {
-			if seg == 0 {
+			if seg == 0 { //lint:allow floateq -- degenerate zero-length segment guard
 				return pl[i]
 			}
 			t := (dist - walked) / seg
@@ -95,7 +95,7 @@ func (pl Polyline) Resample(spacing float64) Polyline {
 		return out
 	}
 	total := pl.Length()
-	if total == 0 {
+	if total == 0 { //lint:allow floateq -- degenerate zero-length polyline guard
 		return Polyline{pl[0], pl[len(pl)-1]}
 	}
 	out := Polyline{pl[0]}

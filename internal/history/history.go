@@ -24,9 +24,9 @@ import (
 // back to the maximum-likelihood landmark path under first-order
 // transition probabilities (Dijkstra over −log-probability costs).
 type Popular struct {
-	counts    map[[2]int]float64 // transitions a→b observed
-	outCounts map[int]float64    // transitions leaving a
-	adj       map[int][]int      // successors of a
+	counts    map[[2]int]int // transitions a→b observed
+	outCounts map[int]int    // transitions leaving a
+	adj       map[int][]int  // successors of a
 
 	seqs [][]int          // landmark sequences of the corpus
 	occ  map[int][]occRef // positions of each landmark
@@ -43,8 +43,8 @@ type occRef struct {
 // from the corpus.
 func BuildPopular(corpus []*traj.Symbolic) *Popular {
 	p := &Popular{
-		counts:    make(map[[2]int]float64),
-		outCounts: make(map[int]float64),
+		counts:    make(map[[2]int]int),
+		outCounts: make(map[int]int),
 		adj:       make(map[int][]int),
 		occ:       make(map[int][]occRef),
 		cache:     make(map[[2]int][]int),
@@ -74,7 +74,7 @@ func BuildPopular(corpus []*traj.Symbolic) *Popular {
 
 // TransitionCount returns how many times a→b was observed.
 func (p *Popular) TransitionCount(a, b int) int {
-	return int(p.counts[[2]int{a, b}])
+	return p.counts[[2]int{a, b}]
 }
 
 // routeItem is a priority-queue element for the max-likelihood search.
@@ -207,7 +207,7 @@ func (p *Popular) likelihoodRoute(a, b int) ([]int, bool) {
 			if done[v] {
 				continue
 			}
-			prob := p.counts[[2]int{u, v}] / total
+			prob := float64(p.counts[[2]int{u, v}]) / float64(total)
 			// prob ≤ 1 so the edge cost is non-negative; Dijkstra applies.
 			cost := dist[u] - math.Log(prob)
 			if old, seen := dist[v]; !seen || cost < old {
@@ -242,8 +242,8 @@ type FeatureMap struct {
 	sums        map[[2]int][]float64
 	// catCounts[key][j] is the per-value histogram of categorical
 	// dimension j on the transition; nil for numeric dimensions.
-	catCounts map[[2]int][]map[float64]float64
-	n         map[[2]int]float64
+	catCounts map[[2]int][]map[float64]int
+	n         map[[2]int]int
 }
 
 // BuildFeatureMap extracts every feature of every segment of the corpus
@@ -275,8 +275,8 @@ func NewFeatureMap(dims int) *FeatureMap {
 		dims:        dims,
 		categorical: make([]bool, dims),
 		sums:        make(map[[2]int][]float64),
-		catCounts:   make(map[[2]int][]map[float64]float64),
-		n:           make(map[[2]int]float64),
+		catCounts:   make(map[[2]int][]map[float64]int),
+		n:           make(map[[2]int]int),
 	}
 }
 
@@ -302,7 +302,7 @@ func (m *FeatureMap) Add(a, b int, v []float64) {
 	for j, x := range v {
 		s[j] += x
 	}
-	var counts []map[float64]float64
+	var counts []map[float64]int
 	for j, x := range v {
 		if !m.categorical[j] {
 			continue
@@ -310,12 +310,12 @@ func (m *FeatureMap) Add(a, b int, v []float64) {
 		if counts == nil {
 			counts = m.catCounts[key]
 			if counts == nil {
-				counts = make([]map[float64]float64, m.dims)
+				counts = make([]map[float64]int, m.dims)
 				m.catCounts[key] = counts
 			}
 		}
 		if counts[j] == nil {
-			counts[j] = make(map[float64]float64)
+			counts[j] = make(map[float64]int)
 		}
 		counts[j][x]++
 	}
@@ -335,7 +335,7 @@ func (m *FeatureMap) Regular(a, b int) ([]float64, bool) {
 	counts := m.catCounts[key]
 	for j, s := range m.sums[key] {
 		if m.categorical[j] && counts != nil && counts[j] != nil {
-			best, bestN := 0.0, 0.0
+			best, bestN := 0.0, 0
 			for val, c := range counts[j] {
 				if c > bestN || (c == bestN && val < best) {
 					best, bestN = val, c
@@ -344,7 +344,7 @@ func (m *FeatureMap) Regular(a, b int) ([]float64, bool) {
 			out[j] = best
 			continue
 		}
-		out[j] = s / n
+		out[j] = s / float64(n)
 	}
 	return out, true
 }
@@ -375,8 +375,8 @@ func (m *FeatureMap) NumEdges() int { return len(m.n) }
 // against.
 func (m *FeatureMap) GlobalMean() []float64 {
 	out := make([]float64, m.dims)
-	var total float64
-	catTotals := make([]map[float64]float64, m.dims)
+	var total int
+	catTotals := make([]map[float64]int, m.dims)
 	for key, s := range m.sums {
 		for j, x := range s {
 			out[j] += x
@@ -387,7 +387,7 @@ func (m *FeatureMap) GlobalMean() []float64 {
 				continue
 			}
 			if catTotals[j] == nil {
-				catTotals[j] = make(map[float64]float64)
+				catTotals[j] = make(map[float64]int)
 			}
 			for val, c := range counts {
 				catTotals[j][val] += c
@@ -396,14 +396,14 @@ func (m *FeatureMap) GlobalMean() []float64 {
 	}
 	if total > 0 {
 		for j := range out {
-			out[j] /= total
+			out[j] /= float64(total)
 		}
 	}
 	for j := range out {
 		if !m.categorical[j] || catTotals[j] == nil {
 			continue
 		}
-		best, bestN := 0.0, 0.0
+		best, bestN := 0.0, 0
 		for val, c := range catTotals[j] {
 			if c > bestN || (c == bestN && val < best) {
 				best, bestN = val, c

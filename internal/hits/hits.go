@@ -120,7 +120,7 @@ func normalizeL1(v []float64) {
 	for _, x := range v {
 		sum += x
 	}
-	if sum == 0 {
+	if sum == 0 { //lint:allow floateq -- division-by-zero guard: only exact zero is unsafe
 		return
 	}
 	for i := range v {

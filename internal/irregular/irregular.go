@@ -49,7 +49,7 @@ func cost(x, y float64, numeric bool) float64 {
 		}
 		return y - x
 	}
-	if x != y {
+	if x != y { //lint:allow floateq -- operands are categorical codes stored in float64
 		return 1
 	}
 	return 0
@@ -77,7 +77,7 @@ func normalizeSeq(v []float64) []float64 {
 		}
 	}
 	out := make([]float64, len(v))
-	if m == 0 {
+	if m == 0 { //lint:allow floateq -- division-by-zero guard: only exact zero is unsafe
 		return out
 	}
 	for i, x := range v {
@@ -135,14 +135,14 @@ func MovingRate(vals, regular []float64, w float64) float64 {
 			m = a
 		}
 	}
-	if m == 0 {
+	if m == 0 { //lint:allow floateq -- division-by-zero guard: only exact zero is unsafe
 		for _, x := range regular {
 			if a := abs(x); a > m {
 				m = a
 			}
 		}
 	}
-	if m == 0 {
+	if m == 0 { //lint:allow floateq -- division-by-zero guard: only exact zero is unsafe
 		return 0
 	}
 	var sum float64

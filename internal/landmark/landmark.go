@@ -176,7 +176,7 @@ func (s *Set) InferSignificance(numTravellers int, visits []hits.Visit, opts hit
 			maxScore = v
 		}
 	}
-	if maxScore == 0 {
+	if maxScore == 0 { //lint:allow floateq -- division-by-zero guard: only exact zero is unsafe
 		return
 	}
 	for i := range s.landmarks {
@@ -198,7 +198,7 @@ func (s *Set) RankBySignificance() []int {
 	}
 	sort.Slice(ids, func(a, b int) bool {
 		la, lb := s.landmarks[ids[a]], s.landmarks[ids[b]]
-		if la.Significance != lb.Significance {
+		if la.Significance != lb.Significance { //lint:allow floateq -- sort comparator: exact tie-break on equal keys is intended
 			return la.Significance > lb.Significance
 		}
 		return ids[a] < ids[b]

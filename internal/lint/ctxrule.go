@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ctxruleCheck enforces context discipline on the concurrent serving
+// path:
+//
+//  1. context.Context must be the first parameter of any function that
+//     takes one (Go convention; mixed orders make call sites misreadable
+//     and defeat grep-based audits of cancellation plumbing).
+//  2. internal/* library code must not mint root contexts with
+//     context.Background or context.TODO — a root context silently
+//     detaches the work from the caller's deadline and cancellation, which
+//     is exactly what the summarize-while-scrape path must never do. Root
+//     contexts belong in main functions and tests.
+type ctxruleCheck struct{}
+
+func (ctxruleCheck) name() string { return "ctxrule" }
+
+func (c ctxruleCheck) pkg(r *reporter, p *Package) {
+	internal := strings.Contains(p.Path, "/internal/")
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				c.checkParams(r, p, n)
+			case *ast.CallExpr:
+				if !internal {
+					return true
+				}
+				fn := calleeFunc(p, n)
+				if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+					r.report(p, c.name(), n.Pos(),
+						"context.%s creates a root context inside internal/* library code; accept a context.Context from the caller instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (ctxruleCheck) finish(*reporter) {}
+
+// checkParams flags a context.Context parameter anywhere but first.
+func (c ctxruleCheck) checkParams(r *reporter, p *Package, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if idx > 0 && isNamed(p.Info.TypeOf(field.Type), "context", "Context") {
+			r.report(p, c.name(), field.Pos(),
+				"context.Context must be the first parameter")
+		}
+		idx += width
+	}
+}

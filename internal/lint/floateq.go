@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floateqCheck flags == and != between floating-point operands. After a
+// chain of haversines and projections two "equal" coordinates differ in
+// the last ulp, so exact comparison is almost always a dormant bug; the
+// rare legitimate cases (an exact zero used as an "unset" sentinel, a
+// value assigned verbatim and never recomputed) are annotated
+// //lint:allow floateq with a justification. Comparisons where both
+// operands are compile-time constants are fine: the compiler folds them.
+type floateqCheck struct{}
+
+func (floateqCheck) name() string { return "floateq" }
+
+func (c floateqCheck) pkg(r *reporter, p *Package) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info.TypeOf(be.X)) && !isFloat(p.Info.TypeOf(be.Y)) {
+				return true
+			}
+			if p.Info.Types[be.X].Value != nil && p.Info.Types[be.Y].Value != nil {
+				return true // constant-folded at compile time
+			}
+			r.report(p, c.name(), be.OpPos,
+				"floating-point %s comparison is exact; compare with a tolerance, or annotate //lint:allow floateq if exact equality is intended", be.Op)
+			return true
+		})
+	}
+}
+
+func (floateqCheck) finish(*reporter) {}
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// latlngCheck guards the repo's (lat, lng) coordinate-order convention —
+// the classic silent-corruption bug in geo code (results stay plausible,
+// just wrong). Two rules:
+//
+//  1. geo.Point composite literals must use keyed fields, so a reader
+//     (and this checker) can see which value is which.
+//  2. At call sites of functions with lat/lng-named parameters, an
+//     argument whose identifier reads as the opposite coordinate kind
+//     ("p.Lng" passed for parameter "lat") is flagged as plausibly
+//     swapped.
+type latlngCheck struct{}
+
+func (latlngCheck) name() string { return "latlng" }
+
+func (c latlngCheck) pkg(r *reporter, p *Package) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				c.checkLit(r, p, n)
+			case *ast.CallExpr:
+				c.checkCall(r, p, n)
+			}
+			return true
+		})
+	}
+}
+
+func (latlngCheck) finish(*reporter) {}
+
+func (c latlngCheck) checkLit(r *reporter, p *Package, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 || !isNamed(p.Info.TypeOf(lit), "internal/geo", "Point") {
+		return
+	}
+	if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+		r.report(p, c.name(), lit.Pos(),
+			"geo.Point composite literal must use keyed fields (Lat:, Lng:) so coordinate order is explicit")
+	}
+}
+
+func (c latlngCheck) checkCall(r *reporter, p *Package, call *ast.CallExpr) {
+	sig, ok := p.Info.TypeOf(ast.Unparen(call.Fun)).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	if sig.Variadic() {
+		n-- // the variadic tail has no positional pairing to misread
+	}
+	for i := 0; i < n && i < len(call.Args); i++ {
+		paramKind := coordKind(params.At(i).Name())
+		if paramKind == kindNone {
+			continue
+		}
+		argKind := coordKind(argIdentName(call.Args[i]))
+		if argKind != kindNone && argKind != paramKind {
+			r.report(p, c.name(), call.Args[i].Pos(),
+				"argument %q passed for parameter %q: latitude/longitude plausibly swapped",
+				argIdentName(call.Args[i]), params.At(i).Name())
+		}
+	}
+}
+
+type coord int
+
+const (
+	kindNone coord = iota
+	kindLat
+	kindLng
+)
+
+// coordKind classifies an identifier as latitude-like, longitude-like or
+// neither, by whole words ("refLat" is lat-like; "clone" is not
+// lng-like). Identifiers mentioning both kinds classify as neither.
+func coordKind(name string) coord {
+	var isLat, isLng bool
+	for _, w := range identWords(name) {
+		switch w {
+		case "lat", "lats", "latitude", "latitudes":
+			isLat = true
+		case "lng", "lngs", "lon", "long", "longitude", "longitudes":
+			isLng = true
+		}
+	}
+	switch {
+	case isLat && !isLng:
+		return kindLat
+	case isLng && !isLat:
+		return kindLng
+	default:
+		return kindNone
+	}
+}
+
+// argIdentName extracts the human-readable name an argument expression is
+// spelled with: an identifier, a field selector, or "" for anything more
+// structured.
+func argIdentName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,409 @@
+// Package lint implements stmaker-lint, the project-specific static
+// analyzer behind `make lint`. It loads every package in the module with
+// the standard library's go/parser + go/types (source importer — no
+// golang.org/x/tools dependency, preserving the zero-dep module) and runs
+// a small suite of repo-specific checks over the typed ASTs:
+//
+//   - metricnames: string literals passed to metrics.Registry.Counter /
+//     Histogram must be compile-time snake_case constants, counters must
+//     end in _total, and the set of names in code must agree both ways
+//     with the catalogue in docs/OBSERVABILITY.md.
+//   - latlng: geo.Point composite literals must use keyed fields, and
+//     call sites of functions with lat/lng-named parameters are flagged
+//     when the argument identifiers look swapped.
+//   - floateq: == and != on floating-point operands outside tests.
+//   - ctxrule: context.Context must be the first parameter, and
+//     internal/* library code must not mint root contexts with
+//     context.Background / context.TODO.
+//   - poolput: a function that calls sync.Pool.Get but never calls Put
+//     leaks the pooled object.
+//
+// Diagnostics can be suppressed with a trailing (or preceding-line)
+// comment `//nolint:stmaker/<check>` — or `//lint:allow <check>`, the
+// conventional escape hatch for floateq. docs/STATIC_ANALYSIS.md is the
+// user-facing guide.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the check that produced it and a
+// human-readable message.
+type Diagnostic struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Msg)
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	supp map[string]map[int][]string // filename -> line -> suppressed check names ("*" = all)
+}
+
+// parsedPkg is a package that has been parsed but not yet type-checked.
+type parsedPkg struct {
+	dir        string
+	importPath string
+	files      []*ast.File
+}
+
+// loader type-checks the module's packages in dependency order, serving
+// module-internal imports from its own results and everything else (the
+// standard library) from the stdlib source importer.
+type loader struct {
+	fset     *token.FileSet
+	src      types.Importer
+	parsed   map[string]*parsedPkg
+	built    map[string]*Package
+	building map[string]bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Load parses and type-checks every non-test package under the module
+// rooted at root (the directory containing go.mod). testdata, hidden and
+// underscore-prefixed directories are skipped, as `go build ./...` does.
+func Load(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return fs.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pp, err := l.parseDir(path, ip)
+		if err != nil {
+			return err
+		}
+		if pp != nil {
+			l.parsed[ip] = pp
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.parsed))
+	for ip := range l.parsed {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, ip := range paths {
+		p, err := l.build(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path. It exists for the golden-file tests, which check
+// fixture packages under testdata that Load deliberately skips.
+func LoadDir(dir, importPath string) (*Package, error) {
+	l := newLoader()
+	pp, err := l.parseDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if pp == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	l.parsed[importPath] = pp
+	return l.build(importPath)
+}
+
+func newLoader() *loader {
+	l := &loader{
+		fset:     token.NewFileSet(),
+		parsed:   make(map[string]*parsedPkg),
+		built:    make(map[string]*Package),
+		building: make(map[string]bool),
+	}
+	l.src = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// parseDir parses the non-test Go files of one directory, returning nil
+// when the directory holds no Go package.
+func (l *loader) parseDir(dir, importPath string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pp := &parsedPkg{dir: dir, importPath: importPath}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pp.files = append(pp.files, f)
+	}
+	if len(pp.files) == 0 {
+		return nil, nil
+	}
+	return pp, nil
+}
+
+// build type-checks importPath (and, recursively, its module-internal
+// dependencies) exactly once.
+func (l *loader) build(ip string) (*Package, error) {
+	if p, ok := l.built[ip]; ok {
+		return p, nil
+	}
+	if l.building[ip] {
+		return nil, fmt.Errorf("lint: import cycle through %s", ip)
+	}
+	l.building[ip] = true
+	defer delete(l.building, ip)
+
+	pp := l.parsed[ip]
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if _, ok := l.parsed[path]; ok {
+				p, err := l.build(path)
+				if err != nil {
+					return nil, err
+				}
+				return p.Types, nil
+			}
+			return l.src.Import(path)
+		}),
+	}
+	tp, err := conf.Check(ip, l.fset, pp.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", ip, err)
+	}
+	p := &Package{Path: ip, Fset: l.fset, Files: pp.files, Types: tp, Info: info}
+	p.supp = collectSuppressions(l.fset, pp.files)
+	l.built[ip] = p
+	return p, nil
+}
+
+// modulePath reads the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// nolintRE matches //nolint:stmaker or //nolint:stmaker/check1[,stmaker/check2...],
+// optionally followed by an explanatory comment.
+var nolintRE = regexp.MustCompile(`^\s*nolint:(stmaker(?:/[a-z]+)?(?:,\s*stmaker(?:/[a-z]+)?)*)(?:\s|$)`)
+
+// allowRE matches //lint:allow check1[ check2...].
+var allowRE = regexp.MustCompile(`^\s*lint:allow\s+([a-z ]+)`)
+
+// collectSuppressions scans every comment for suppression directives and
+// records the check names suppressed at each (file, line).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	supp := make(map[string]map[int][]string)
+	add := func(pos token.Pos, names []string) {
+		position := fset.Position(pos)
+		byLine := supp[position.Filename]
+		if byLine == nil {
+			byLine = make(map[int][]string)
+			supp[position.Filename] = byLine
+		}
+		byLine[position.Line] = append(byLine[position.Line], names...)
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if m := nolintRE.FindStringSubmatch(text); m != nil {
+					var names []string
+					for _, part := range strings.Split(m[1], ",") {
+						part = strings.TrimSpace(part)
+						if check, ok := strings.CutPrefix(part, "stmaker/"); ok {
+							names = append(names, check)
+						} else { // bare "nolint:stmaker" silences every check
+							names = append(names, "*")
+						}
+					}
+					add(c.Pos(), names)
+				} else if m := allowRE.FindStringSubmatch(text); m != nil {
+					add(c.Pos(), strings.Fields(m[1]))
+				}
+			}
+		}
+	}
+	return supp
+}
+
+// suppressed reports whether a diagnostic from check at position is
+// silenced by a directive on the same line or the line above.
+func (p *Package) suppressed(check string, position token.Position) bool {
+	byLine := p.supp[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == check || name == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reporter accumulates diagnostics, dropping suppressed ones.
+type reporter struct {
+	diags []Diagnostic
+}
+
+// report files a diagnostic for check at pos within p, honouring
+// suppression directives.
+func (r *reporter) report(p *Package, check string, pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(check, position) {
+		return
+	}
+	r.diags = append(r.diags, Diagnostic{Pos: position, Check: check, Msg: fmt.Sprintf(format, args...)})
+}
+
+// reportAt files a diagnostic at an arbitrary position (used for findings
+// in non-Go files such as the metrics catalogue, where no suppression
+// directives apply).
+func (r *reporter) reportAt(check string, position token.Position, format string, args ...any) {
+	r.diags = append(r.diags, Diagnostic{Pos: position, Check: check, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Options configures a Run.
+type Options struct {
+	// DocPath is the metrics catalogue (docs/OBSERVABILITY.md) checked
+	// two-ways against the metric names used in code. Empty disables the
+	// documentation cross-check.
+	DocPath string
+	// Checks selects a subset of checks by name; nil runs all of them.
+	Checks []string
+}
+
+// checker is one named analysis. pkg is called once per package; finish
+// once after all packages, for cross-package verdicts.
+type checker interface {
+	name() string
+	pkg(r *reporter, p *Package)
+	finish(r *reporter)
+}
+
+// AllChecks lists every check name, in the order they run.
+func AllChecks() []string {
+	return []string{"metricnames", "latlng", "floateq", "ctxrule", "poolput"}
+}
+
+func newCheckers(opts Options) ([]checker, error) {
+	all := map[string]checker{
+		"metricnames": &metricNamesCheck{docPath: opts.DocPath, used: make(map[string]metricUse)},
+		"latlng":      latlngCheck{},
+		"floateq":     floateqCheck{},
+		"ctxrule":     ctxruleCheck{},
+		"poolput":     poolputCheck{},
+	}
+	names := opts.Checks
+	if names == nil {
+		names = AllChecks()
+	}
+	cs := make([]checker, 0, len(names))
+	for _, n := range names {
+		c, ok := all[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q (have %s)", n, strings.Join(AllChecks(), ", "))
+		}
+		cs = append(cs, c)
+	}
+	return cs, nil
+}
+
+// Run analyses the packages and returns the surviving diagnostics sorted
+// by position.
+func Run(pkgs []*Package, opts Options) ([]Diagnostic, error) {
+	cs, err := newCheckers(opts)
+	if err != nil {
+		return nil, err
+	}
+	r := &reporter{}
+	for _, c := range cs {
+		for _, p := range pkgs {
+			c.pkg(r, p)
+		}
+		c.finish(r)
+	}
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i].Pos, r.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return r.diags[i].Check < r.diags[j].Check
+	})
+	return r.diags, nil
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts `// want "regexp"` annotations from fixture sources.
+// The quoted text is a regular expression matched against the message of
+// a diagnostic reported on the same line.
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// golden runs the named checks over one fixture package and verifies the
+// diagnostics against the fixture's // want annotations: every want must
+// be matched by a diagnostic on its line, and every diagnostic must be
+// claimed by a want.
+func golden(t *testing.T, dir, importPath string, checks []string, docFile string) {
+	t.Helper()
+	fixture := filepath.Join("testdata", "src", dir)
+	pkg, err := LoadDir(fixture, importPath)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", fixture, err)
+	}
+	opts := Options{Checks: checks}
+	if docFile != "" {
+		opts.DocPath = filepath.Join(fixture, docFile)
+	}
+	diags, err := Run([]*Package{pkg}, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	addWants := func(path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+				}
+				key := fmt.Sprintf("%s:%d", filepath.Base(path), i+1)
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+	entries, err := os.ReadDir(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			addWants(filepath.Join(fixture, e.Name()))
+		}
+	}
+
+	for _, d := range diags {
+		if !strings.HasSuffix(d.Pos.Filename, ".go") {
+			continue // doc-side diagnostics are asserted in dedicated tests
+		}
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Msg) {
+				w.matched, claimed = true, true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Check, d.Msg)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	golden(t, "metricnames", "stmaker/internal/lintfixture/metricnames",
+		[]string{"metricnames"}, "OBSERVABILITY.md")
+}
+
+// TestMetricNamesDocGhost covers the doc-side direction of the two-way
+// check: names documented in the catalogue but absent from code are
+// reported at their catalogue line. Ghost expectations live here rather
+// than in // want comments because markdown carries none.
+func TestMetricNamesDocGhost(t *testing.T) {
+	fixture := filepath.Join("testdata", "src", "metricnames")
+	pkg, err := LoadDir(fixture, "stmaker/internal/lintfixture/metricnames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, Options{
+		Checks:  []string{"metricnames"},
+		DocPath: filepath.Join(fixture, "OBSERVABILITY.md"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ghosts []string
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, ".md") {
+			ghosts = append(ghosts, d.Msg)
+		}
+	}
+	if len(ghosts) != 1 || !strings.Contains(ghosts[0], `"ghost_metric_total"`) {
+		t.Errorf("want exactly one ghost-metric diagnostic for ghost_metric_total, got %q", ghosts)
+	}
+}
+
+func TestLatLng(t *testing.T) {
+	golden(t, "latlng", "stmaker/internal/lintfixture/latlng", []string{"latlng"}, "")
+}
+
+func TestFloatEq(t *testing.T) {
+	golden(t, "floateq", "stmaker/internal/lintfixture/floateq", []string{"floateq"}, "")
+}
+
+func TestCtxRule(t *testing.T) {
+	golden(t, "ctxrule", "stmaker/internal/lintfixture/ctxrule", []string{"ctxrule"}, "")
+}
+
+// TestCtxRuleOutsideInternal verifies the Background/TODO rule only bites
+// internal/* packages: the same fixture loaded under a non-internal
+// import path reports no root-context diagnostics (the parameter-order
+// rule still applies everywhere, so run only files without those).
+func TestCtxRuleOutsideInternal(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "ctxok"), "stmaker/lintfixture/ctxok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, Options{Checks: []string{"ctxrule"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("non-internal package should be allowed context.Background, got %v", diags)
+	}
+}
+
+func TestPoolPut(t *testing.T) {
+	golden(t, "poolput", "stmaker/internal/lintfixture/poolput", []string{"poolput"}, "")
+}
+
+// TestRunUnknownCheck verifies the check-selection error path.
+func TestRunUnknownCheck(t *testing.T) {
+	if _, err := Run(nil, Options{Checks: []string{"nope"}}); err == nil {
+		t.Fatal("expected error for unknown check name")
+	}
+}
+
+// TestLoadModule smoke-tests the whole-module loader the binary uses: it
+// must load this repository (the linter's own gate) without error.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = true
+	}
+	for _, want := range []string{"stmaker", "stmaker/internal/geo", "stmaker/internal/lint", "stmaker/cmd/stmaker-lint"} {
+		if !byPath[want] {
+			t.Errorf("Load missed package %s", want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// metricNamesCheck enforces the observability naming contract: every name
+// passed to metrics.Registry.Counter / Histogram is a compile-time
+// snake_case string constant (so metric cardinality is bounded and
+// greppable), counters end in _total, and the set of names used in code
+// agrees both ways with the catalogue in docs/OBSERVABILITY.md — a typo
+// mints a silent new time series, and a stale doc row is a ghost metric
+// dashboards will wait on forever.
+// metricUse records where a metric name first appears in code, keeping
+// the package so the doc-sync pass can honour suppression directives.
+type metricUse struct {
+	pos token.Position
+	pkg *Package
+}
+
+type metricNamesCheck struct {
+	docPath string
+	used    map[string]metricUse // metric name -> first use in code
+}
+
+func (*metricNamesCheck) name() string { return "metricnames" }
+
+// snakeCaseRE is the legal shape of a metric name.
+var snakeCaseRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func (c *metricNamesCheck) pkg(r *reporter, p *Package) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || (fn.Name() != "Counter" && fn.Name() != "Histogram") ||
+				!recvIsNamed(fn, "internal/metrics", "Registry") || len(call.Args) != 1 {
+				return true
+			}
+			arg := call.Args[0]
+			tv := p.Info.Types[arg]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				r.report(p, c.name(), arg.Pos(),
+					"metric name passed to Registry.%s must be a compile-time string constant (dynamic names make cardinality unbounded and undiscoverable)", fn.Name())
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !snakeCaseRE.MatchString(name) {
+				r.report(p, c.name(), arg.Pos(), "metric name %q is not snake_case", name)
+				return true
+			}
+			if fn.Name() == "Counter" && !strings.HasSuffix(name, "_total") {
+				r.report(p, c.name(), arg.Pos(), "counter name %q must end in _total", name)
+			}
+			if _, ok := c.used[name]; !ok {
+				c.used[name] = metricUse{pos: p.Fset.Position(arg.Pos()), pkg: p}
+			}
+			return true
+		})
+	}
+}
+
+func (c *metricNamesCheck) finish(r *reporter) {
+	if c.docPath == "" {
+		return
+	}
+	documented, err := docMetricNames(c.docPath)
+	if err != nil {
+		r.reportAt(c.name(), token.Position{Filename: c.docPath, Line: 1},
+			"cannot read metrics catalogue: %v", err)
+		return
+	}
+	for name, use := range c.used {
+		if _, ok := documented[name]; !ok && !use.pkg.suppressed(c.name(), use.pos) {
+			r.reportAt(c.name(), use.pos,
+				"metric %q is used in code but not documented in %s", name, c.docPath)
+		}
+	}
+	for name, line := range documented {
+		if _, ok := c.used[name]; !ok {
+			r.reportAt(c.name(), token.Position{Filename: c.docPath, Line: line},
+				"metric %q is documented but never used in code (ghost metric)", name)
+		}
+	}
+}
+
+// docNameRE extracts backticked snake_case tokens; requiring at least one
+// underscore separates metric names from ordinary backticked words
+// (`count`, `le`, flag names, file paths) in the catalogue's prose.
+var docNameRE = regexp.MustCompile("`([a-z][a-z0-9]*(?:_[a-z0-9]+)+)`")
+
+// docMetricNames parses the catalogue markdown and returns every metric
+// name mentioned outside fenced code blocks, with the line it first
+// appears on.
+func docMetricNames(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make(map[string]int)
+	fenced := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		for _, m := range docNameRE.FindAllStringSubmatch(line, -1) {
+			if _, ok := names[m[1]]; !ok {
+				names[m[1]] = i + 1
+			}
+		}
+	}
+	return names, nil
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// poolputCheck flags a function that calls sync.Pool.Get but never calls
+// Put: the pooled object leaks on every call and the pool degenerates to
+// a slow allocator. Functions that hand the object to their caller behind
+// an acquire/release pair keep the Get suppressed with a comment naming
+// the releasing function — the suppression is the documentation.
+type poolputCheck struct{}
+
+func (poolputCheck) name() string { return "poolput" }
+
+func (c poolputCheck) pkg(r *reporter, p *Package) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var gets []token.Pos
+			hasPut := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p, call)
+				if fn == nil || !recvIsNamed(fn, "sync", "Pool") {
+					return true
+				}
+				switch fn.Name() {
+				case "Get":
+					gets = append(gets, call.Pos())
+				case "Put":
+					hasPut = true
+				}
+				return true
+			})
+			if hasPut {
+				continue
+			}
+			for _, pos := range gets {
+				r.report(p, c.name(), pos,
+					"sync.Pool.Get with no matching Put on any return path of %s; the pooled object leaks (pair it with Put, or suppress if a release helper owns the Put)", fd.Name.Name)
+			}
+		}
+	}
+}
+
+func (poolputCheck) finish(*reporter) {}

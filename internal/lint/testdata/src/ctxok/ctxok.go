@@ -1,0 +1,11 @@
+// Package ctxok is a lint fixture loaded under a non-internal import
+// path: minting root contexts is allowed outside internal/* library
+// code (main packages, examples).
+package ctxok
+
+import "context"
+
+func mintOK() {
+	_ = context.Background()
+	_ = context.TODO()
+}

@@ -1,0 +1,26 @@
+// Package ctxrule is a lint fixture loaded under an internal/ import
+// path, so both ctxrule rules apply.
+package ctxrule
+
+import "context"
+
+func good(ctx context.Context, n int) {}
+
+func badOrder(n int, ctx context.Context) {} // want "context.Context must be the first parameter"
+
+type worker struct{}
+
+func (worker) run(ctx context.Context, job string) {} // receiver does not count: clean
+
+type doer interface {
+	Do(s string, ctx context.Context) // want "context.Context must be the first parameter"
+}
+
+var callback func(int, context.Context) // want "context.Context must be the first parameter"
+
+func mint() {
+	_ = context.Background() // want "root context inside internal"
+	_ = context.TODO()       // want "root context inside internal"
+	ctx := context.Background() //nolint:stmaker/ctxrule -- fixture: suppression path
+	_ = ctx
+}

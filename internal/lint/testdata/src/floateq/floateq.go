@@ -1,0 +1,26 @@
+// Package floateq is a lint fixture: exact float comparison cases.
+package floateq
+
+func compare(a, b float64, i, j int) bool {
+	if a == b { // want "floating-point == comparison is exact"
+		return true
+	}
+	if a != 0 { // want "floating-point != comparison is exact"
+		return false
+	}
+	var x, y float32
+	eq32 := x == y // want "floating-point == comparison is exact"
+	if i == j {    // integers: clean
+		return eq32
+	}
+	const c1, c2 = 1.5, 2.5
+	constFold := c1 == c2 // both operands constant, folded at compile time: clean
+	if a == 1.0 {         //lint:allow floateq -- sentinel value assigned verbatim, never computed
+		return constFold
+	}
+	//lint:allow floateq -- preceding-line suppression form
+	if b == 2.0 {
+		return true
+	}
+	return b != a //nolint:stmaker/floateq -- the nolint spelling works for floateq too
+}

@@ -1,0 +1,28 @@
+// Package latlng is a lint fixture: coordinate-order cases for the
+// latlng check.
+package latlng
+
+import "stmaker/internal/geo"
+
+func dist(lat, lng float64) float64 { return lat + lng }
+
+func noCoords(a, b float64) float64 { return a - b }
+
+type pair struct{ Lat, Lng float64 }
+
+func calls(p pair) {
+	var lat, lng float64
+	_ = dist(lat, lng) // aligned names: clean
+	_ = dist(lng, lat)     // want "plausibly swapped" // want "plausibly swapped"
+	_ = dist(p.Lng, p.Lat) // want "plausibly swapped" // want "plausibly swapped"
+	_ = dist(p.Lat, p.Lng) // selectors aligned: clean
+	_ = dist(0.5, lng)     // literal argument carries no name: clean
+	_ = noCoords(lng, lat) // parameters are not coordinates: clean
+	_ = dist(lng, lat)     //nolint:stmaker/latlng -- fixture: suppression path
+
+	bad := geo.Point{39.9, 116.4} // want "keyed fields"
+	good := geo.Point{Lat: 39.9, Lng: 116.4}
+	pts := []geo.Point{{39.9, 116.4}} // want "keyed fields"
+	sup := geo.Point{116.4, 39.9}     //nolint:stmaker/latlng -- fixture: suppression path
+	_, _, _, _ = bad, good, pts, sup
+}

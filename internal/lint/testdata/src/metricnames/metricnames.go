@@ -1,0 +1,24 @@
+// Package metricnames is a lint fixture: positive and negative cases for
+// the metricnames check, including both suppression comment forms.
+package metricnames
+
+import "stmaker/internal/metrics"
+
+// MetricGood is a documented, well-formed counter name.
+const MetricGood = "requests_total"
+
+// MetricGauge is a counter used gauge-style; its missing _total suffix is
+// deliberately suppressed below.
+const MetricGauge = "in_flight_current"
+
+func use(reg *metrics.Registry, dynamic string) {
+	reg.Counter(MetricGood)          // constant, snake_case, _total, documented: clean
+	reg.Histogram("latency_seconds") // histograms need no _total suffix
+	reg.Counter(dynamic)             // want "must be a compile-time string constant"
+	reg.Counter("BadName_total")     // want "is not snake_case"
+	reg.Counter("missing_suffix")    // want "must end in _total"
+	reg.Counter("undocumented_total") // want "not documented"
+	reg.Counter(MetricGauge)          //nolint:stmaker/metricnames -- in-flight gauge, not a monotonic counter
+	//nolint:stmaker/metricnames -- grandfathered name, preceding-line suppression form
+	reg.Counter("legacy_gauge")
+}

@@ -1,0 +1,34 @@
+// Package poolput is a lint fixture: sync.Pool Get/Put pairing cases.
+package poolput
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+func leaky() *[]byte {
+	return pool.Get().(*[]byte) // want "no matching Put"
+}
+
+func balanced() {
+	b := pool.Get().(*[]byte)
+	defer pool.Put(b)
+	_ = b
+}
+
+func deferredClosure() {
+	b := pool.Get().(*[]byte)
+	defer func() { pool.Put(b) }()
+	_ = b
+}
+
+func acquire() *[]byte {
+	return pool.Get().(*[]byte) //nolint:stmaker/poolput -- released by callers via release()
+}
+
+func release(b *[]byte) { pool.Put(b) }
+
+func noPool() {
+	var mu sync.Mutex
+	mu.Lock() // a non-Pool sync method named neither Get nor Put: clean
+	mu.Unlock()
+}

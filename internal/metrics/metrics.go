@@ -207,6 +207,13 @@ func (h *Histogram) quantile(counts []int64, total int64, q float64) float64 {
 // Registry is a named collection of counters and histograms. Counter and
 // Histogram are get-or-create, so instrumented code needs no registration
 // ceremony and scrapers see every metric that has ever been touched.
+// Counters and histograms occupy separate namespaces: registering the
+// same name first as a counter and then as a histogram yields two
+// independent metrics, and a Snapshot reports both (one under Counters,
+// one under Histograms). Consumers that flatten a snapshot into a single
+// keyspace must therefore avoid reusing names across kinds —
+// stmaker-lint's metricnames check enforces naming conventions that keep
+// the two disjoint (counters end in _total, histograms in _seconds).
 type Registry struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter

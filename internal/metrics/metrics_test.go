@@ -182,3 +182,40 @@ func TestConcurrentObserveAndSnapshot(t *testing.T) {
 		t.Errorf("op_seconds count = %d, want %d", s.Histograms["op_seconds"].Count, writers*n)
 	}
 }
+
+// TestRegistryNameCollisionAcrossKinds pins down the registry's behaviour
+// when one name is registered as both a counter and a histogram: the two
+// kinds live in separate namespaces, so both metrics exist independently
+// and a snapshot reports each under its own section. This is intentional —
+// see the Registry doc comment — and the naming conventions enforced by
+// stmaker-lint (_total vs _seconds suffixes) keep real metric sets from
+// ever colliding across kinds.
+func TestRegistryNameCollisionAcrossKinds(t *testing.T) {
+	r := NewRegistry()
+	const name = "collision_probe_total"
+
+	c := r.Counter(name)
+	c.Inc()
+	h := r.Histogram(name) // same name, different kind: a distinct metric
+	h.Observe(0.25)
+
+	// Re-fetching by name returns the same instances (no cross-kind clobber).
+	if r.Counter(name) != c {
+		t.Fatalf("Counter(%q) no longer returns the original counter after Histogram(%q)", name, name)
+	}
+	if r.Histogram(name) != h {
+		t.Fatalf("Histogram(%q) did not return the histogram registered under the same name", name)
+	}
+
+	snap := r.Snapshot()
+	if got := snap.Counters[name]; got != 1 {
+		t.Fatalf("snapshot counter %q = %d, want 1", name, got)
+	}
+	hs, ok := snap.Histograms[name]
+	if !ok {
+		t.Fatalf("snapshot is missing histogram %q", name)
+	}
+	if hs.Count != 1 {
+		t.Fatalf("snapshot histogram %q count = %d, want 1", name, hs.Count)
+	}
+}

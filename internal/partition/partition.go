@@ -54,10 +54,10 @@ func Similarity(u, v, w []float64) float64 {
 	// Cosine is invariant to scaling each vector independently; dividing by
 	// the max magnitude guards the squared terms against overflow.
 	su, sv := maxAbs(u), maxAbs(v)
-	if su == 0 {
+	if su == 0 { //lint:allow floateq -- division-by-zero guard: only exact zero is unsafe
 		su = 1
 	}
-	if sv == 0 {
+	if sv == 0 { //lint:allow floateq -- division-by-zero guard: only exact zero is unsafe
 		sv = 1
 	}
 	var dot, nu, nv float64
@@ -72,9 +72,9 @@ func Similarity(u, v, w []float64) float64 {
 		nv += wj * vj * vj
 	}
 	switch {
-	case nu == 0 && nv == 0:
+	case nu == 0 && nv == 0: //lint:allow floateq -- zero-vector guard: only exact zero norms need the special case
 		return 1
-	case nu == 0 || nv == 0:
+	case nu == 0 || nv == 0: //lint:allow floateq -- zero-vector guard: only exact zero norms need the special case
 		return 0.5
 	}
 	cos := dot / (math.Sqrt(nu) * math.Sqrt(nv))
@@ -173,7 +173,7 @@ func L1Similarity(u, v, w []float64) float64 {
 		sum += wj * d
 		wsum += wj
 	}
-	if wsum == 0 {
+	if wsum == 0 { //lint:allow floateq -- division-by-zero guard: only exact zero is unsafe
 		return 1
 	}
 	s := 1 - sum/wsum
@@ -284,7 +284,7 @@ func KPartition(in Input, k int, opts Options) (Result, error) {
 			cutChoice[i][j] = cut
 		}
 	}
-	if E[n-1][k] == inf {
+	if E[n-1][k] >= inf {
 		return Result{}, fmt.Errorf("partition: no %d-partition of %d segments", k, n)
 	}
 	// Reconstruct cut positions.
@@ -346,7 +346,7 @@ func GreedyK(in Input, k int, opts Options) (Result, error) {
 				continue
 			}
 			if best < 0 || cd.benefit > cands[best].benefit ||
-				(cd.benefit == cands[best].benefit && cd.i < cands[best].i) {
+				(cd.benefit == cands[best].benefit && cd.i < cands[best].i) { //lint:allow floateq -- greedy tie-break: exact equality picks the earlier boundary
 				best = j
 			}
 		}

@@ -280,7 +280,7 @@ type stepScratch struct {
 
 var stepScratchPool = sync.Pool{New: func() any { return &stepScratch{} }}
 
-func acquireStepScratch() *stepScratch { return stepScratchPool.Get().(*stepScratch) }
+func acquireStepScratch() *stepScratch { return stepScratchPool.Get().(*stepScratch) } //nolint:stmaker/poolput -- releaseStepScratch owns the Put; every caller defers it
 
 func releaseStepScratch(sc *stepScratch) { stepScratchPool.Put(sc) }
 

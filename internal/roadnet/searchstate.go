@@ -100,7 +100,7 @@ var searchPool = sync.Pool{New: func() any { return &searchState{} }}
 // acquireSearch returns a state ready for a fresh search over a graph of n
 // nodes: arrays at least n long and a new generation with an empty heap.
 func acquireSearch(n int) *searchState {
-	s := searchPool.Get().(*searchState)
+	s := searchPool.Get().(*searchState) //nolint:stmaker/poolput -- releaseSearch owns the Put; every caller defers it
 	if len(s.dist) < n {
 		s.dist = make([]float64, n)
 		s.prev = make([]pred, n)

@@ -74,10 +74,10 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.MaxSpeedKmh == 0 {
+	if o.MaxSpeedKmh == 0 { //lint:allow floateq -- zero means unset: callers opt out with a negative value
 		o.MaxSpeedKmh = DefaultMaxSpeedKmh
 	}
-	if o.JitterEpsilonMeters == 0 {
+	if o.JitterEpsilonMeters == 0 { //lint:allow floateq -- zero means unset: callers opt out with a negative value
 		o.JitterEpsilonMeters = DefaultJitterEpsilonMeters
 	}
 	return o

@@ -130,7 +130,7 @@ func TestPanicRecoveredAndProcessSurvives(t *testing.T) {
 	if got := snap.Counters[MetricHTTPPanics]; got != 1 {
 		t.Errorf("%s = %d, want 1", MetricHTTPPanics, got)
 	}
-	if got := snap.Counters[MetricHTTPResponsesPrefix+"5xx_total"]; got < 1 {
+	if got := snap.Counters[MetricHTTPResponses5xx]; got < 1 {
 		t.Errorf("5xx counter = %d, want >= 1", got)
 	}
 }

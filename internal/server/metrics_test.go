@@ -98,11 +98,11 @@ func TestMiddlewareStatusRecording(t *testing.T) {
 
 	// The before/after scrapes themselves add 2xx responses: the delta
 	// must cover the summarize success plus the first scrape.
-	d2xx := after.Counters[MetricHTTPResponsesPrefix+"2xx_total"] - before.Counters[MetricHTTPResponsesPrefix+"2xx_total"]
+	d2xx := after.Counters[MetricHTTPResponses2xx] - before.Counters[MetricHTTPResponses2xx]
 	if d2xx < 2 {
 		t.Errorf("2xx delta = %d, want >= 2", d2xx)
 	}
-	d4xx := after.Counters[MetricHTTPResponsesPrefix+"4xx_total"] - before.Counters[MetricHTTPResponsesPrefix+"4xx_total"]
+	d4xx := after.Counters[MetricHTTPResponses4xx] - before.Counters[MetricHTTPResponses4xx]
 	if d4xx != 1 {
 		t.Errorf("4xx delta = %d, want 1", d4xx)
 	}

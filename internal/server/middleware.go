@@ -20,9 +20,14 @@ const (
 	// MetricHTTPLatency is the request latency histogram across all
 	// routes, in seconds.
 	MetricHTTPLatency = "http_request_seconds"
-	// MetricHTTPResponsesPrefix prefixes the per-status-class response
-	// counters: http_responses_2xx_total, _4xx_, _5xx_, ...
-	MetricHTTPResponsesPrefix = "http_responses_"
+	// MetricHTTPResponses1xx..5xx count responses by status class. A
+	// status outside 100–599 is attributed to the 5xx counter: the server
+	// never emits one, so it can only mean a handler bug.
+	MetricHTTPResponses1xx = "http_responses_1xx_total"
+	MetricHTTPResponses2xx = "http_responses_2xx_total"
+	MetricHTTPResponses3xx = "http_responses_3xx_total"
+	MetricHTTPResponses4xx = "http_responses_4xx_total"
+	MetricHTTPResponses5xx = "http_responses_5xx_total"
 	// MetricHTTPPanics counts handler panics recovered into 500s; any
 	// non-zero value is a bug worth paging on, but the process survives.
 	MetricHTTPPanics = "panics_recovered_total"
@@ -54,28 +59,22 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// statusClassCounter maps a status code to its class counter name without
-// allocating for the common classes.
-func statusClassCounter(status int) string {
-	switch status / 100 {
-	case 2:
-		return MetricHTTPResponsesPrefix + "2xx_total"
-	case 3:
-		return MetricHTTPResponsesPrefix + "3xx_total"
-	case 4:
-		return MetricHTTPResponsesPrefix + "4xx_total"
-	default:
-		return MetricHTTPResponsesPrefix + "5xx_total"
-	}
-}
-
 // observe wraps the mux with the serving-path middleware: it counts the
 // request, tracks in-flight load, times the handler, bumps the
 // status-class counter and emits one structured log line per request.
 func (srv *Server) observe(next http.Handler) http.Handler {
 	requests := srv.mx.Counter(MetricHTTPRequests)
-	inflight := srv.mx.Counter(MetricHTTPInFlight)
+	inflight := srv.mx.Counter(MetricHTTPInFlight) //nolint:stmaker/metricnames -- in-flight is a gauge (Inc on entry, Add(-1) on exit), so the _total counter suffix does not apply
 	latency := srv.mx.Histogram(MetricHTTPLatency)
+	// Resolving the class counters once keeps the hot path free of map
+	// lookups and keeps every metric name a compile-time constant.
+	byClass := [...]interface{ Inc() }{
+		1: srv.mx.Counter(MetricHTTPResponses1xx),
+		2: srv.mx.Counter(MetricHTTPResponses2xx),
+		3: srv.mx.Counter(MetricHTTPResponses3xx),
+		4: srv.mx.Counter(MetricHTTPResponses4xx),
+		5: srv.mx.Counter(MetricHTTPResponses5xx),
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		requests.Inc()
@@ -87,7 +86,11 @@ func (srv *Server) observe(next http.Handler) http.Handler {
 
 		elapsed := time.Since(t0)
 		latency.Observe(elapsed.Seconds())
-		srv.mx.Counter(statusClassCounter(rec.status)).Inc()
+		class := rec.status / 100
+		if class < 1 || class > 5 {
+			class = 5 // out-of-range statuses can only be handler bugs
+		}
+		byClass[class].Inc()
 		srv.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),

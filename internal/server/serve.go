@@ -90,7 +90,9 @@ func (srv *Server) Serve(ctx context.Context, l net.Listener, opts ServeOptions)
 
 	srv.ready.Store(false)
 	srv.logger.Info("draining", "timeout", opts.DrainTimeout)
-	drainCtx := context.Background()
+	// The serve ctx is already done here; WithoutCancel keeps its values
+	// while letting the drain outlive the cancellation.
+	drainCtx := context.WithoutCancel(ctx)
 	if opts.DrainTimeout > 0 {
 		var cancel context.CancelFunc
 		drainCtx, cancel = context.WithTimeout(drainCtx, opts.DrainTimeout)

@@ -50,7 +50,7 @@ func (o CityOptions) withDefaults() CityOptions {
 	switch {
 	case o.OneWayFraction < 0:
 		o.OneWayFraction = 0 // negative opts out of one-way streets entirely
-	case o.OneWayFraction == 0:
+	case o.OneWayFraction == 0: //lint:allow floateq -- zero means unset: negative opts out, exact zero takes the default
 		o.OneWayFraction = 0.1
 	case o.OneWayFraction > 1:
 		o.OneWayFraction = 1

@@ -356,7 +356,7 @@ func driveLegs(id, taxi string, start time.Time, legs []leg, sampleInterval time
 			continue
 		}
 		length := lg.geom.Length()
-		if length == 0 || lg.speedKmh <= 0 {
+		if length == 0 || lg.speedKmh <= 0 { //lint:allow floateq -- degenerate zero-length geometry guard
 			continue
 		}
 		mps := lg.speedKmh / 3.6

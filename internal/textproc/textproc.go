@@ -123,7 +123,7 @@ func (ix *Index) Search(query string) []Document {
 		hits = append(hits, scored{doc: d, score: score})
 	}
 	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].score != hits[j].score {
+		if hits[i].score != hits[j].score { //lint:allow floateq -- sort comparator: exact tie-break on equal keys is intended
 			return hits[i].score > hits[j].score
 		}
 		return hits[i].doc < hits[j].doc
@@ -137,10 +137,11 @@ func (ix *Index) Search(query string) []Document {
 
 // tfidf scores token tok in document d.
 func (ix *Index) tfidf(d int, tok string) float64 {
-	tf := float64(ix.freqs[d][tok])
-	if tf == 0 {
+	n := ix.freqs[d][tok]
+	if n == 0 {
 		return 0
 	}
+	tf := float64(n)
 	df := float64(len(ix.postings[tok]))
 	idf := math.Log(float64(len(ix.docs)+1)/(df+1)) + 1
 	return tf * idf
@@ -294,7 +295,7 @@ func (cl *Clustering) TopTerms(c, m int) []string {
 		terms[j] = tw{term: t, w: cl.Centroids[c][j]}
 	}
 	sort.Slice(terms, func(i, j int) bool {
-		if terms[i].w != terms[j].w {
+		if terms[i].w != terms[j].w { //lint:allow floateq -- sort comparator: exact tie-break on equal keys is intended
 			return terms[i].w > terms[j].w
 		}
 		return terms[i].term < terms[j].term
@@ -324,12 +325,12 @@ func (cl *Clustering) Categorize(ix *Index, text string) int {
 	}
 	vec := make([]float64, len(cl.Vocab))
 	for j, tok := range cl.Vocab {
-		tf := float64(counts[tok])
-		if tf == 0 {
+		n := counts[tok]
+		if n == 0 {
 			continue
 		}
 		df := float64(len(ix.postings[tok]))
-		vec[j] = tf * (math.Log(float64(len(ix.docs)+1)/(df+1)) + 1)
+		vec[j] = float64(n) * (math.Log(float64(len(ix.docs)+1)/(df+1)) + 1)
 	}
 	best, bestD := 0, math.Inf(1)
 	for c := range cl.Centroids {

@@ -241,19 +241,19 @@ func New(cfg Config) (*Summarizer, error) {
 	if cfg.Landmarks == nil || cfg.Landmarks.Len() < 2 {
 		return nil, errors.New("stmaker: Config.Landmarks must hold at least 2 landmarks")
 	}
-	if cfg.CalibrationRadiusMeters == 0 {
+	if cfg.CalibrationRadiusMeters == 0 { //lint:allow floateq -- zero means unset in Config
 		cfg.CalibrationRadiusMeters = 100
 	}
 	switch {
-	case cfg.MinAnchorSpacingMeters == 0:
+	case cfg.MinAnchorSpacingMeters == 0: //lint:allow floateq -- zero means unset in Config
 		cfg.MinAnchorSpacingMeters = 50
 	case cfg.MinAnchorSpacingMeters < 0:
 		cfg.MinAnchorSpacingMeters = 0
 	}
-	if cfg.Ca == 0 {
+	if cfg.Ca == 0 { //lint:allow floateq -- zero means unset in Config
 		cfg.Ca = partition.DefaultCa
 	}
-	if cfg.Threshold == 0 {
+	if cfg.Threshold == 0 { //lint:allow floateq -- zero means unset in Config
 		cfg.Threshold = irregular.DefaultThreshold
 	}
 	fallback := true

@@ -34,3 +34,4 @@ bench-smoke:
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzLoadTrips -fuzztime=15s ./internal/worldio
 	go test -run='^$$' -fuzz=FuzzSanitize -fuzztime=15s ./internal/sanitize
+	go test -run='^$$' -fuzz=FuzzReadModel -fuzztime=15s ./internal/modelio

@@ -7,6 +7,7 @@
 package stmaker_test
 
 import (
+	"bytes"
 	"math/rand"
 	"sync"
 	"testing"
@@ -472,6 +473,58 @@ func BenchmarkSummarizeHMMMatching(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Summarize(trips[i%len(trips)].Raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdStartTrain measures boot-to-serving the cold way: build a
+// summarizer and train it on the full corpus, the path every stmakerd
+// instance paid on boot before saved models existed. Compare against
+// BenchmarkWarmStartLoadModel — the gap is what -model buys a restart.
+func BenchmarkColdStartTrain(b *testing.B) {
+	w := world(b)
+	corpus := make([]*traj.Raw, 0, len(w.Train))
+	for _, tr := range w.Train {
+		corpus = append(corpus, tr.Raw)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := stmaker.New(stmaker.Config{Graph: w.City.Graph, Landmarks: w.City.Landmarks})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Train(corpus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmStartLoadModel measures boot-to-serving the warm way:
+// build a summarizer and load the model saved by a previous training run
+// (decode, validate, fingerprint-check, publish), skipping calibration
+// and feature extraction entirely — stmakerd -model.
+func BenchmarkWarmStartLoadModel(b *testing.B) {
+	w := world(b)
+	var file bytes.Buffer
+	if _, err := w.Summarizer.SaveModel(&file); err != nil {
+		b.Fatal(err)
+	}
+	data := file.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := stmaker.New(stmaker.Config{Graph: w.City.Graph, Landmarks: w.City.Landmarks})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := stmaker.ReadModelFrom(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.LoadModel(m); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,11 +1,14 @@
 // Command stmakerd serves trajectory summarization over HTTP, the way the
-// original STMaker demo system ran online. It loads a world and training
-// corpus produced by cmd/trajgen, trains, and listens until SIGINT or
-// SIGTERM, then drains in-flight requests and exits.
+// original STMaker demo system ran online. It loads a world produced by
+// cmd/trajgen, obtains a model — warm-starting from a saved model file
+// when -model points at one, training from the -train corpus otherwise —
+// and listens until SIGINT or SIGTERM, then drains in-flight requests and
+// exits.
 //
 // Usage:
 //
 //	stmakerd -world world.json -train train.json [-addr :8080] [-pprof]
+//	         [-model model.stm] [-save-model model.stm] [-admin]
 //	         [-log text|json] [-max-body N] [-max-inflight N]
 //	         [-timeout D] [-drain D] [-no-sanitize] [-hmm] [-sp-cache N]
 //
@@ -14,9 +17,19 @@
 //
 //	POST /summarize[?k=N]  {"trajectory": {...traj.Raw JSON...}, "k": N}
 //	GET  /healthz          liveness probe
-//	GET  /readyz           readiness probe (503 while draining)
+//	GET  /readyz           readiness probe (503 while draining or model-less)
 //	GET  /metrics          JSON snapshot of stage + request metrics
+//	POST /admin/reload     trigger a live retrain (only with -admin)
 //	GET  /debug/pprof/*    Go profiling handlers (only with -pprof)
+//
+// The model lifecycle: -model warm-starts from a file written by
+// -save-model, skipping the initial training entirely; -save-model
+// persists the model (atomically, via temp file + rename) after every
+// successful training, initial or live. SIGHUP — or POST /admin/reload —
+// re-reads the -train corpus from disk and retrains in the background,
+// hot-swapping the new model in atomically on success; a failed rebuild
+// is logged and counted (model_reload_failures_total) while the previous
+// model keeps serving.
 //
 // Every request is logged as one structured line (log/slog) to stderr;
 // -log json switches the log format for machine ingestion. Metric names
@@ -30,6 +43,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -43,6 +57,9 @@ func main() {
 	var (
 		worldPath   = flag.String("world", "world.json", "world file from trajgen")
 		trainPath   = flag.String("train", "train.json", "training corpus")
+		modelPath   = flag.String("model", "", "warm-start from this saved model file instead of training")
+		savePath    = flag.String("save-model", "", "persist the model here after every successful training")
+		adminOn     = flag.Bool("admin", false, "mount POST /admin/reload (live retrain trigger)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
 		logFormat   = flag.String("log", "text", "log format: text or json")
@@ -92,40 +109,100 @@ func main() {
 	if err != nil {
 		fatal(logger, err)
 	}
-	tf, err := os.Open(*trainPath)
-	if err != nil {
-		fatal(logger, err)
+
+	// retrain is the one training path, shared by the cold-start boot and
+	// every live reload: it re-reads the corpus from disk — so dropping a
+	// new -train file and sending SIGHUP picks it up — trains, and
+	// persists the new model when -save-model is set.
+	retrain := func() error {
+		tf, err := os.Open(*trainPath)
+		if err != nil {
+			return err
+		}
+		corpus, err := worldio.LoadTrips(tf)
+		tf.Close()
+		if err != nil {
+			return err
+		}
+		stats, err := s.Train(corpus)
+		if err != nil {
+			return err
+		}
+		logger.Info("trained",
+			"version", s.Model().Version(),
+			"trained", stats.Calibrated,
+			"skipped", stats.Skipped,
+			"repaired", stats.Repaired,
+			"repairs", stats.Repairs.Repairs(),
+			"transitions", stats.Transitions,
+		)
+		if *savePath != "" {
+			if err := saveModel(s, *savePath); err != nil {
+				// The new model is already serving; a persistence failure
+				// only costs the next boot its warm start.
+				logger.Warn("model save failed, warm start unavailable", "path", *savePath, "error", err)
+			} else {
+				logger.Info("model saved", "path", *savePath)
+			}
+		}
+		return nil
 	}
-	corpus, err := worldio.LoadTrips(tf)
-	tf.Close()
-	if err != nil {
-		fatal(logger, err)
+
+	warm := false
+	if *modelPath != "" {
+		m, err := loadModel(*modelPath)
+		if err == nil {
+			err = s.LoadModel(m)
+		}
+		if err != nil {
+			logger.Error("warm start failed, falling back to training", "model", *modelPath, "error", err)
+		} else {
+			warm = true
+			logger.Info("warm start",
+				"model", *modelPath,
+				"version", m.Version(),
+				"transitions", m.NumTransitions(),
+			)
+		}
 	}
-	stats, err := s.Train(corpus)
-	if err != nil {
-		fatal(logger, err)
+	if !warm {
+		if err := retrain(); err != nil {
+			fatal(logger, err)
+		}
 	}
+
 	srv, err := server.NewWithOptions(s, server.Options{
 		Logger:         logger,
 		EnablePprof:    *pprofOn,
+		EnableAdmin:    *adminOn,
 		MaxBodyBytes:   *maxBody,
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *timeout,
+		Retrain:        retrain,
 	})
 	if err != nil {
 		fatal(logger, err)
 	}
 	logger.Info("stmakerd listening",
 		"addr", *addr,
-		"trained", stats.Calibrated,
-		"skipped", stats.Skipped,
-		"repaired", stats.Repaired,
-		"repairs", stats.Repairs.Repairs(),
-		"transitions", stats.Transitions,
+		"model_version", s.Model().Version(),
+		"warm_start", warm,
 		"sanitize", !*noSanitize,
 		"hmm", *useHMM,
+		"admin", *adminOn,
 		"pprof", *pprofOn,
 	)
+
+	// SIGHUP triggers a live retrain (single-flight, background); the
+	// serving model keeps answering until the replacement is published.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			srv.TriggerReload("sighup")
+		}
+	}()
 
 	// SIGINT/SIGTERM cancels ctx; Serve then flips /readyz to 503,
 	// drains in-flight requests for up to -drain, and returns.
@@ -135,6 +212,40 @@ func main() {
 		fatal(logger, err)
 	}
 	logger.Info("stmakerd stopped")
+}
+
+// loadModel reads a saved model file (see stmaker.ReadModelFrom).
+func loadModel(path string) (*stmaker.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return stmaker.ReadModelFrom(f)
+}
+
+// saveModel persists the current model atomically: written to a temp
+// file in the destination directory, synced, then renamed over the
+// target, so a crash mid-write can never leave a truncated model file
+// for the next boot to trip on.
+func saveModel(s *stmaker.Summarizer, path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	if _, err := s.SaveModel(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }
 
 func fatal(logger *slog.Logger, err error) {

@@ -8,7 +8,9 @@ package history
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -42,6 +44,20 @@ type occRef struct {
 // BuildPopular accumulates transition statistics and the subroute index
 // from the corpus.
 func BuildPopular(corpus []*traj.Symbolic) *Popular {
+	seqs := make([][]int, 0, len(corpus))
+	for _, s := range corpus {
+		seqs = append(seqs, s.LandmarkIDs())
+	}
+	return BuildPopularFromSequences(seqs)
+}
+
+// BuildPopularFromSequences rebuilds the popular-route knowledge from the
+// corpus landmark sequences alone — the serialization-friendly core of
+// BuildPopular. Every derived structure (transition counts, adjacency,
+// the occurrence index) is a deterministic function of the sequences, so
+// a Popular round-trips through Sequences and back with identical routes.
+// The sequences are copied; the caller keeps ownership of seqs.
+func BuildPopularFromSequences(seqs [][]int) *Popular {
 	p := &Popular{
 		counts:    make(map[[2]int]int),
 		outCounts: make(map[int]int),
@@ -49,8 +65,8 @@ func BuildPopular(corpus []*traj.Symbolic) *Popular {
 		occ:       make(map[int][]occRef),
 		cache:     make(map[[2]int][]int),
 	}
-	for _, s := range corpus {
-		ids := s.LandmarkIDs()
+	for _, ids := range seqs {
+		ids = append([]int(nil), ids...)
 		si := len(p.seqs)
 		p.seqs = append(p.seqs, ids)
 		for i, id := range ids {
@@ -70,6 +86,17 @@ func BuildPopular(corpus []*traj.Symbolic) *Popular {
 		}
 	}
 	return p
+}
+
+// Sequences returns a deep copy of the corpus landmark sequences the
+// knowledge was built from — the minimal state needed to reconstruct the
+// Popular via BuildPopularFromSequences (model persistence).
+func (p *Popular) Sequences() [][]int {
+	out := make([][]int, len(p.seqs))
+	for i, s := range p.seqs {
+		out[i] = append([]int(nil), s...)
+	}
+	return out
 }
 
 // TransitionCount returns how many times a→b was observed.
@@ -367,6 +394,102 @@ func (m *FeatureMap) HasEdge(a, b int) bool { return m.n[[2]int{a, b}] > 0 }
 
 // NumEdges returns the number of annotated transitions.
 func (m *FeatureMap) NumEdges() int { return len(m.n) }
+
+// CategoricalDims returns a copy of the per-dimension categorical flags.
+func (m *FeatureMap) CategoricalDims() []bool {
+	return append([]bool(nil), m.categorical...)
+}
+
+// EdgesSorted returns every annotated transition ordered by (from, to) —
+// a deterministic iteration order for serialization, so saving the same
+// map twice yields identical bytes.
+func (m *FeatureMap) EdgesSorted() [][2]int {
+	out := make([][2]int, 0, len(m.n))
+	for key := range m.n {
+		out = append(out, key)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Aggregate exposes the raw accumulated state of the transition a→b —
+// observation count, per-dimension sums and per-categorical-dimension
+// value histograms — for serialization. Everything returned is a copy;
+// ok is false when the corpus never travelled the transition. Feeding the
+// same values to AddAggregate on an empty map with the same categorical
+// flags reproduces Regular bit-for-bit, because sums are transported
+// rather than recomputed.
+func (m *FeatureMap) Aggregate(a, b int) (n int, sums []float64, cats []map[float64]int, ok bool) {
+	key := [2]int{a, b}
+	n = m.n[key]
+	if n == 0 {
+		return 0, nil, nil, false
+	}
+	sums = append([]float64(nil), m.sums[key]...)
+	if src := m.catCounts[key]; src != nil {
+		cats = make([]map[float64]int, m.dims)
+		for j, counts := range src {
+			if counts == nil {
+				continue
+			}
+			cats[j] = make(map[float64]int, len(counts))
+			for v, c := range counts {
+				cats[j][v] = c
+			}
+		}
+	}
+	return n, sums, cats, true
+}
+
+// AddAggregate merges a previously exported aggregate back into the map
+// (model deserialization): n observations whose per-dimension sums are
+// sums and whose categorical histograms are cats (nil when no dimension
+// is categorical; entries for numeric dimensions are ignored). Inputs are
+// copied. It returns an error instead of silently dropping mismatched
+// dimensionality, since a load path must not half-apply a model.
+func (m *FeatureMap) AddAggregate(a, b int, n int, sums []float64, cats []map[float64]int) error {
+	if len(sums) != m.dims {
+		return fmt.Errorf("history: aggregate has %d dims, map has %d", len(sums), m.dims)
+	}
+	if n <= 0 {
+		return fmt.Errorf("history: aggregate for %d->%d has non-positive count %d", a, b, n)
+	}
+	if cats != nil && len(cats) != m.dims {
+		return fmt.Errorf("history: aggregate categorical histograms have %d dims, map has %d", len(cats), m.dims)
+	}
+	key := [2]int{a, b}
+	s := m.sums[key]
+	if s == nil {
+		s = make([]float64, m.dims)
+		m.sums[key] = s
+	}
+	for j, x := range sums {
+		s[j] += x
+	}
+	for j := range m.categorical {
+		if !m.categorical[j] || cats == nil || cats[j] == nil {
+			continue
+		}
+		counts := m.catCounts[key]
+		if counts == nil {
+			counts = make([]map[float64]int, m.dims)
+			m.catCounts[key] = counts
+		}
+		if counts[j] == nil {
+			counts[j] = make(map[float64]int, len(cats[j]))
+		}
+		for v, c := range cats[j] {
+			counts[j][v] += c
+		}
+	}
+	m.n[key] += n
+	return nil
+}
 
 // GlobalMean returns the corpus-wide regular value of every feature — the
 // mean for numeric dimensions and the mode for categorical ones. It is

@@ -1,6 +1,7 @@
 package history
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -261,5 +262,97 @@ func TestFrequentSubroutePrefersShorterOnTies(t *testing.T) {
 	route, ok := p.Route(0, 3)
 	if !ok || len(route) != 2 {
 		t.Fatalf("route = %v, want the direct pair", route)
+	}
+}
+
+// TestPopularSequencesRoundTrip proves the sequences are the complete
+// state of the popular-route knowledge: rebuilding from them answers
+// every route identically — the contract model persistence relies on.
+func TestPopularSequencesRoundTrip(t *testing.T) {
+	p := BuildPopular([]*traj.Symbolic{sym(0, 1, 2, 3), sym(0, 2, 3), sym(0, 2, 3), sym(4, 0)})
+	seqs := p.Sequences()
+	q := BuildPopularFromSequences(seqs)
+	// Mutating the exported sequences must not touch either knowledge.
+	seqs[0][0] = 99
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			pr, pok := p.Route(a, b)
+			qr, qok := q.Route(a, b)
+			if pok != qok {
+				t.Fatalf("route %d->%d: ok %v vs %v", a, b, pok, qok)
+			}
+			if fmt.Sprint(pr) != fmt.Sprint(qr) {
+				t.Fatalf("route %d->%d: %v vs %v", a, b, pr, qr)
+			}
+			if p.TransitionCount(a, b) != q.TransitionCount(a, b) {
+				t.Fatalf("transition count %d->%d differs", a, b)
+			}
+		}
+	}
+}
+
+// TestFeatureMapAggregateRoundTrip proves exporting every edge aggregate
+// and re-adding it to an empty map reproduces Regular and GlobalMean
+// bit-for-bit (sums are transported, not recomputed).
+func TestFeatureMapAggregateRoundTrip(t *testing.T) {
+	m := NewFeatureMap(2)
+	m.MarkCategorical(0)
+	m.Add(0, 1, []float64{2, 10.5})
+	m.Add(0, 1, []float64{2, 11.25})
+	m.Add(0, 1, []float64{6, 1.0 / 3.0})
+	m.Add(1, 2, []float64{4, 7})
+
+	out := NewFeatureMap(m.Dims())
+	for j, c := range m.CategoricalDims() {
+		if c {
+			out.MarkCategorical(j)
+		}
+	}
+	for _, e := range m.EdgesSorted() {
+		n, sums, cats, ok := m.Aggregate(e[0], e[1])
+		if !ok {
+			t.Fatalf("edge %v vanished", e)
+		}
+		if err := out.AddAggregate(e[0], e[1], n, sums, cats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.NumEdges() != m.NumEdges() {
+		t.Fatalf("edges = %d, want %d", out.NumEdges(), m.NumEdges())
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}} {
+		want, _ := m.Regular(e[0], e[1])
+		got, ok := out.Regular(e[0], e[1])
+		if !ok {
+			t.Fatalf("edge %v missing after round trip", e)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("edge %v dim %d: %v != %v", e, j, got[j], want[j])
+			}
+		}
+	}
+	gw, gg := m.GlobalMean(), out.GlobalMean()
+	for j := range gw {
+		if gw[j] != gg[j] {
+			t.Fatalf("global mean dim %d: %v != %v", j, gg[j], gw[j])
+		}
+	}
+}
+
+// TestAddAggregateRejectsMismatch pins the strictness of the load path.
+func TestAddAggregateRejectsMismatch(t *testing.T) {
+	m := NewFeatureMap(2)
+	if err := m.AddAggregate(0, 1, 1, []float64{1}, nil); err == nil {
+		t.Error("wrong dims accepted")
+	}
+	if err := m.AddAggregate(0, 1, 0, []float64{1, 2}, nil); err == nil {
+		t.Error("zero count accepted")
+	}
+	if err := m.AddAggregate(0, 1, 1, []float64{1, 2}, make([]map[float64]int, 3)); err == nil {
+		t.Error("wrong cats dims accepted")
+	}
+	if m.NumEdges() != 0 {
+		t.Error("failed AddAggregate mutated the map")
 	}
 }

@@ -1,0 +1,57 @@
+package modelio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadModel hammers the binary decoder with arbitrary bytes: whatever
+// the input — truncation, flipped bits, absurd lengths, random garbage —
+// Read must either return a model or an error, never panic, hang or
+// over-allocate. Valid models must round-trip through a re-encode to
+// byte-identical output, pinning the determinism contract.
+func FuzzReadModel(f *testing.F) {
+	var seed bytes.Buffer
+	if _, err := Write(&seed, &Model{
+		Version:                 3,
+		FeatureKeys:             []string{"GR", "Spe"},
+		CalibrationRadiusMeters: 100,
+		MinAnchorSpacingMeters:  50,
+		Stats:                   Stats{Calibrated: 2},
+		PopularSeqs:             [][]int{{0, 1}, {1, 0}},
+		Categorical:             []bool{true, false},
+		Edges: []Edge{{From: 0, To: 1, N: 2, Sums: []float64{8, 50},
+			Cats: []CatDim{{Dim: 0, Values: []ValueCount{{Value: 4, Count: 2}}}}}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("STMM"))
+	f.Add(seed.Bytes()[:headerSize])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must re-encode (the decoder's
+		// invariants are a superset of the encoder's) ...
+		var out bytes.Buffer
+		if _, err := Write(&out, m); err != nil {
+			t.Fatalf("decoded model failed to re-encode: %v", err)
+		}
+		// ... and decode + re-encode must be a fixed point: one more
+		// round trip yields the same bytes.
+		m2, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded model failed to decode: %v", err)
+		}
+		var out2 bytes.Buffer
+		if _, err := Write(&out2, m2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("re-encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,555 @@
+// Package modelio is the persistence layer for STMaker's trained
+// knowledge: a versioned, checksummed binary codec for the model a
+// Summarizer publishes after Train (the §V historical feature map and
+// popular-route statistics, plus the registry fingerprint and build
+// parameters the knowledge is only valid under).
+//
+// The format is deliberately dependency-free (stdlib encoding/binary +
+// hash/crc32) and deliberately strict on the way in: model files cross
+// machine and process boundaries, so Read treats its input as untrusted —
+// every length is bounded by the bytes actually present, every structural
+// invariant (dimensionality agreement, sorted unique edges, categorical
+// histograms that sum to their edge count) is verified, and any violation
+// returns an error wrapping ErrInvalidModel rather than panicking or
+// over-allocating. Corruption anywhere in the payload is caught by a
+// CRC-32C checksum before field decoding even starts.
+//
+// Layout (all integers little-endian; "uv" is unsigned varint):
+//
+//	magic "STMM" | u16 format | u16 reserved | u64 payload len | u32 CRC-32C
+//	payload:
+//	  uv modelVersion
+//	  uv #featureKeys, each: uv len + bytes
+//	  f64 calibrationRadiusMeters, f64 minAnchorSpacingMeters
+//	  stats: uv calibrated, skipped, repaired + 7 uv sanitize-report counts
+//	  uv #popularSeqs, each: uv len, then uv landmark ids
+//	  uv dims (== #featureKeys), dims × u8 categorical flags
+//	  uv #edges (sorted by (from,to), unique), each:
+//	    uv from, uv to, uv n, dims × f64 sums,
+//	    uv #catDims, each: uv dim (ascending, categorical),
+//	      uv #values, each: f64 value (ascending), uv count
+//
+// Encoding is deterministic: Write sorts edges, categorical dimensions
+// and histogram values, so saving the same model twice yields identical
+// bytes — which makes "the files differ" a meaningful signal.
+package modelio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"stmaker/internal/sanitize"
+)
+
+// FormatVersion identifies the on-disk binary schema.
+const FormatVersion = 1
+
+// magic is the file signature ("STMaker Model").
+var magic = [4]byte{'S', 'T', 'M', 'M'}
+
+// headerSize is magic + format + reserved + payload length + CRC.
+const headerSize = 4 + 2 + 2 + 8 + 4
+
+// Hard caps on untrusted input. They are far above anything a real model
+// contains but keep a hostile header from provoking huge allocations.
+const (
+	maxPayloadBytes = 1 << 30 // 1 GiB
+	maxFeatureKeys  = 1 << 12
+	maxKeyLen       = 256
+	maxLandmarkID   = math.MaxInt32
+	maxCount        = math.MaxInt32
+)
+
+// ErrInvalidModel marks any structural failure of a model file: bad
+// magic, unsupported version, checksum mismatch, truncation, or a payload
+// violating the format's invariants. Callers classify with errors.Is.
+var ErrInvalidModel = errors.New("modelio: invalid model data")
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64
+// and arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Model is the codec's neutral view of a trained model — plain data, no
+// behaviour — so the persistence layer depends on neither the root
+// stmaker package nor internal/history.
+type Model struct {
+	// Version is the model's publish sequence number at save time.
+	Version uint64
+	// FeatureKeys fingerprints the feature registry the model was built
+	// under, in vector order.
+	FeatureKeys []string
+	// CalibrationRadiusMeters and MinAnchorSpacingMeters are the
+	// calibration parameters the training corpus was rewritten with; a
+	// summarizer configured differently must reject the model.
+	CalibrationRadiusMeters float64
+	MinAnchorSpacingMeters  float64
+	// Stats are the corpus statistics of the Train call that built the
+	// model.
+	Stats Stats
+	// PopularSeqs are the corpus landmark sequences, the complete state
+	// of the popular-route knowledge.
+	PopularSeqs [][]int
+	// Categorical flags each feature dimension (mode vs mean
+	// aggregation); len == len(FeatureKeys).
+	Categorical []bool
+	// Edges are the historical feature map's per-transition aggregates.
+	Edges []Edge
+}
+
+// Stats mirrors the corpus statistics of stmaker.TrainStats (transitions
+// are derivable from Edges and not stored).
+type Stats struct {
+	Calibrated int
+	Skipped    int
+	Repaired   int
+	Repairs    sanitize.Report
+}
+
+// Edge is one historical-feature-map transition: n observations with
+// per-dimension sums, plus per-categorical-dimension value histograms.
+type Edge struct {
+	From, To int
+	N        int
+	Sums     []float64
+	Cats     []CatDim
+}
+
+// CatDim is the value histogram of one categorical dimension on one edge.
+type CatDim struct {
+	Dim    int
+	Values []ValueCount
+}
+
+// ValueCount is one observed categorical value and its frequency.
+type ValueCount struct {
+	Value float64
+	Count int
+}
+
+// Write encodes m and writes it to w, returning the bytes written. The
+// encoding is deterministic (see the package comment); Write does not
+// mutate m.
+func Write(w io.Writer, m *Model) (int64, error) {
+	payload, err := encodePayload(m)
+	if err != nil {
+		return 0, err
+	}
+	header := make([]byte, headerSize)
+	copy(header, magic[:])
+	binary.LittleEndian.PutUint16(header[4:], FormatVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(header[16:], crc32.Checksum(payload, crcTable))
+	n1, err := w.Write(header)
+	if err != nil {
+		return int64(n1), err
+	}
+	n2, err := w.Write(payload)
+	return int64(n1) + int64(n2), err
+}
+
+// Read decodes a model written by Write. Input is untrusted: any
+// structural problem — truncation, flipped bytes, absurd lengths —
+// returns an error wrapping ErrInvalidModel; Read never panics and never
+// allocates more than the bytes actually supplied (plus small constant
+// factors).
+func Read(r io.Reader) (*Model, error) {
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrInvalidModel, err)
+	}
+	if !bytes.Equal(header[:4], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrInvalidModel, header[:4])
+	}
+	if v := binary.LittleEndian.Uint16(header[4:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrInvalidModel, v)
+	}
+	if v := binary.LittleEndian.Uint16(header[6:]); v != 0 {
+		return nil, fmt.Errorf("%w: reserved header field is %d, want 0", ErrInvalidModel, v)
+	}
+	length := binary.LittleEndian.Uint64(header[8:])
+	if length > maxPayloadBytes {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrInvalidModel, length)
+	}
+	// ReadAll grows as bytes actually arrive, so a lying length field
+	// cannot force a large allocation from a tiny stream.
+	payload, err := io.ReadAll(io.LimitReader(r, int64(length)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrInvalidModel, err)
+	}
+	if uint64(len(payload)) != length {
+		return nil, fmt.Errorf("%w: truncated payload: %d of %d bytes", ErrInvalidModel, len(payload), length)
+	}
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(header[16:]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (payload %08x, header %08x)", ErrInvalidModel, got, want)
+	}
+	return decodePayload(payload)
+}
+
+// --- encoding ---
+
+func encodePayload(m *Model) ([]byte, error) {
+	dims := len(m.FeatureKeys)
+	if dims > maxFeatureKeys {
+		return nil, fmt.Errorf("modelio: %d feature keys exceeds limit", dims)
+	}
+	if len(m.Categorical) != dims {
+		return nil, fmt.Errorf("modelio: %d categorical flags for %d feature keys", len(m.Categorical), dims)
+	}
+	buf := binary.AppendUvarint(nil, m.Version)
+	buf = binary.AppendUvarint(buf, uint64(dims))
+	for _, k := range m.FeatureKeys {
+		if k == "" || len(k) > maxKeyLen {
+			return nil, fmt.Errorf("modelio: feature key %q has invalid length", k)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+	}
+	buf = appendF64(buf, m.CalibrationRadiusMeters)
+	buf = appendF64(buf, m.MinAnchorSpacingMeters)
+	for _, v := range []int{
+		m.Stats.Calibrated, m.Stats.Skipped, m.Stats.Repaired,
+		m.Stats.Repairs.Input, m.Stats.Repairs.Output,
+		m.Stats.Repairs.DroppedInvalid, m.Stats.Repairs.Reordered,
+		m.Stats.Repairs.DroppedDuplicates, m.Stats.Repairs.DroppedOutliers,
+		m.Stats.Repairs.CollapsedJitter,
+	} {
+		if v < 0 {
+			return nil, fmt.Errorf("modelio: negative corpus statistic %d", v)
+		}
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.PopularSeqs)))
+	for _, seq := range m.PopularSeqs {
+		buf = binary.AppendUvarint(buf, uint64(len(seq)))
+		for _, id := range seq {
+			if id < 0 || id > maxLandmarkID {
+				return nil, fmt.Errorf("modelio: landmark id %d out of range", id)
+			}
+			buf = binary.AppendUvarint(buf, uint64(id))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(dims))
+	for _, c := range m.Categorical {
+		if c {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	edges := append([]Edge(nil), m.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	buf = binary.AppendUvarint(buf, uint64(len(edges)))
+	for _, e := range edges {
+		var err error
+		if buf, err = appendEdge(buf, e, m.Categorical); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendEdge(buf []byte, e Edge, categorical []bool) ([]byte, error) {
+	dims := len(categorical)
+	if e.From < 0 || e.From > maxLandmarkID || e.To < 0 || e.To > maxLandmarkID {
+		return nil, fmt.Errorf("modelio: edge %d->%d out of range", e.From, e.To)
+	}
+	if e.N <= 0 || e.N > maxCount {
+		return nil, fmt.Errorf("modelio: edge %d->%d has invalid count %d", e.From, e.To, e.N)
+	}
+	if len(e.Sums) != dims {
+		return nil, fmt.Errorf("modelio: edge %d->%d has %d sums, want %d", e.From, e.To, len(e.Sums), dims)
+	}
+	buf = binary.AppendUvarint(buf, uint64(e.From))
+	buf = binary.AppendUvarint(buf, uint64(e.To))
+	buf = binary.AppendUvarint(buf, uint64(e.N))
+	for _, s := range e.Sums {
+		buf = appendF64(buf, s)
+	}
+	cats := append([]CatDim(nil), e.Cats...)
+	sort.Slice(cats, func(i, j int) bool { return cats[i].Dim < cats[j].Dim })
+	buf = binary.AppendUvarint(buf, uint64(len(cats)))
+	for _, cd := range cats {
+		if cd.Dim < 0 || cd.Dim >= dims || !categorical[cd.Dim] {
+			return nil, fmt.Errorf("modelio: edge %d->%d histogram on non-categorical dim %d", e.From, e.To, cd.Dim)
+		}
+		buf = binary.AppendUvarint(buf, uint64(cd.Dim))
+		values := append([]ValueCount(nil), cd.Values...)
+		sort.Slice(values, func(i, j int) bool { return values[i].Value < values[j].Value })
+		total := 0
+		buf = binary.AppendUvarint(buf, uint64(len(values)))
+		for _, vc := range values {
+			if vc.Count <= 0 || vc.Count > e.N {
+				return nil, fmt.Errorf("modelio: edge %d->%d dim %d value count %d invalid", e.From, e.To, cd.Dim, vc.Count)
+			}
+			if math.IsNaN(vc.Value) {
+				return nil, fmt.Errorf("modelio: edge %d->%d dim %d has NaN category code", e.From, e.To, cd.Dim)
+			}
+			total += vc.Count
+			buf = appendF64(buf, vc.Value)
+			buf = binary.AppendUvarint(buf, uint64(vc.Count))
+		}
+		if total != e.N {
+			return nil, fmt.Errorf("modelio: edge %d->%d dim %d histogram sums to %d, want %d", e.From, e.To, cd.Dim, total, e.N)
+		}
+	}
+	return buf, nil
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+// --- decoding ---
+
+// decoder walks the payload with bounds-checked reads; every failure
+// wraps ErrInvalidModel with the byte offset for diagnosis.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) fail(format string, args ...any) error {
+	return fmt.Errorf("%w: at byte %d: %s", ErrInvalidModel, d.off, fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, d.fail("bad varint")
+	}
+	d.off += n
+	return v, nil
+}
+
+// count reads a collection length and verifies the remaining payload can
+// physically hold that many elements of at least minBytes each — the
+// guard that makes absurd lengths error instead of over-allocating.
+func (d *decoder) count(what string, minBytes int) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(d.remaining()/minBytes) {
+		return 0, d.fail("%s count %d exceeds remaining %d bytes", what, v, d.remaining())
+	}
+	return int(v), nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	if d.remaining() < 8 {
+		return 0, d.fail("truncated float")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) intField(what string, max uint64) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > max {
+		return 0, d.fail("%s %d exceeds limit %d", what, v, max)
+	}
+	return int(v), nil
+}
+
+func decodePayload(payload []byte) (*Model, error) {
+	d := &decoder{buf: payload}
+	m := &Model{}
+	var err error
+	if m.Version, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	nKeys, err := d.count("feature key", 2)
+	if err != nil {
+		return nil, err
+	}
+	if nKeys > maxFeatureKeys {
+		return nil, d.fail("%d feature keys exceeds limit", nKeys)
+	}
+	m.FeatureKeys = make([]string, nKeys)
+	seen := make(map[string]bool, nKeys)
+	for i := range m.FeatureKeys {
+		kl, err := d.intField("key length", maxKeyLen)
+		if err != nil {
+			return nil, err
+		}
+		if kl == 0 || kl > d.remaining() {
+			return nil, d.fail("key length %d invalid", kl)
+		}
+		k := string(d.buf[d.off : d.off+kl])
+		d.off += kl
+		if seen[k] {
+			return nil, d.fail("duplicate feature key %q", k)
+		}
+		seen[k] = true
+		m.FeatureKeys[i] = k
+	}
+	if m.CalibrationRadiusMeters, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if m.MinAnchorSpacingMeters, err = d.f64(); err != nil {
+		return nil, err
+	}
+	for _, dst := range []*int{
+		&m.Stats.Calibrated, &m.Stats.Skipped, &m.Stats.Repaired,
+		&m.Stats.Repairs.Input, &m.Stats.Repairs.Output,
+		&m.Stats.Repairs.DroppedInvalid, &m.Stats.Repairs.Reordered,
+		&m.Stats.Repairs.DroppedDuplicates, &m.Stats.Repairs.DroppedOutliers,
+		&m.Stats.Repairs.CollapsedJitter,
+	} {
+		if *dst, err = d.intField("corpus statistic", maxCount); err != nil {
+			return nil, err
+		}
+	}
+	nSeqs, err := d.count("sequence", 1)
+	if err != nil {
+		return nil, err
+	}
+	m.PopularSeqs = make([][]int, nSeqs)
+	for i := range m.PopularSeqs {
+		sl, err := d.count("sequence element", 1)
+		if err != nil {
+			return nil, err
+		}
+		seq := make([]int, sl)
+		for j := range seq {
+			if seq[j], err = d.intField("landmark id", maxLandmarkID); err != nil {
+				return nil, err
+			}
+		}
+		m.PopularSeqs[i] = seq
+	}
+	dims, err := d.intField("dims", maxFeatureKeys)
+	if err != nil {
+		return nil, err
+	}
+	if dims != nKeys {
+		return nil, d.fail("feature map has %d dims, registry fingerprint has %d keys", dims, nKeys)
+	}
+	if d.remaining() < dims {
+		return nil, d.fail("truncated categorical flags")
+	}
+	m.Categorical = make([]bool, dims)
+	for i := range m.Categorical {
+		switch d.buf[d.off] {
+		case 0:
+		case 1:
+			m.Categorical[i] = true
+		default:
+			return nil, d.fail("categorical flag %d is %d, want 0 or 1", i, d.buf[d.off])
+		}
+		d.off++
+	}
+	// Each edge carries at least 3 varints + dims floats + 1 varint.
+	nEdges, err := d.count("edge", 4+8*dims)
+	if err != nil {
+		return nil, err
+	}
+	m.Edges = make([]Edge, 0, nEdges)
+	prev := [2]int{-1, -1}
+	for i := 0; i < nEdges; i++ {
+		e, err := d.edge(dims, m.Categorical)
+		if err != nil {
+			return nil, err
+		}
+		cur := [2]int{e.From, e.To}
+		if !(prev[0] < cur[0] || (prev[0] == cur[0] && prev[1] < cur[1])) {
+			return nil, d.fail("edges not sorted/unique at %d->%d", e.From, e.To)
+		}
+		prev = cur
+		m.Edges = append(m.Edges, e)
+	}
+	if d.remaining() != 0 {
+		return nil, d.fail("%d trailing bytes after model", d.remaining())
+	}
+	return m, nil
+}
+
+func (d *decoder) edge(dims int, categorical []bool) (Edge, error) {
+	var e Edge
+	var err error
+	if e.From, err = d.intField("edge from", maxLandmarkID); err != nil {
+		return e, err
+	}
+	if e.To, err = d.intField("edge to", maxLandmarkID); err != nil {
+		return e, err
+	}
+	if e.N, err = d.intField("edge count", maxCount); err != nil {
+		return e, err
+	}
+	if e.N == 0 {
+		return e, d.fail("edge %d->%d has zero observations", e.From, e.To)
+	}
+	e.Sums = make([]float64, dims)
+	for j := range e.Sums {
+		if e.Sums[j], err = d.f64(); err != nil {
+			return e, err
+		}
+	}
+	nCats, err := d.count("categorical histogram", 3)
+	if err != nil {
+		return e, err
+	}
+	if nCats > dims {
+		return e, d.fail("edge %d->%d has %d histograms for %d dims", e.From, e.To, nCats, dims)
+	}
+	prevDim := -1
+	for c := 0; c < nCats; c++ {
+		var cd CatDim
+		if cd.Dim, err = d.intField("histogram dim", uint64(dims-1)); err != nil {
+			return e, err
+		}
+		if cd.Dim <= prevDim {
+			return e, d.fail("histogram dims not ascending at %d", cd.Dim)
+		}
+		prevDim = cd.Dim
+		if !categorical[cd.Dim] {
+			return e, d.fail("histogram on non-categorical dim %d", cd.Dim)
+		}
+		nVals, err := d.count("histogram value", 9)
+		if err != nil {
+			return e, err
+		}
+		total := 0
+		prevVal := math.Inf(-1)
+		for v := 0; v < nVals; v++ {
+			var vc ValueCount
+			if vc.Value, err = d.f64(); err != nil {
+				return e, err
+			}
+			if !(vc.Value > prevVal) { //lint:allow floateq -- strict ordering check, not an equality test
+				return e, d.fail("histogram values not ascending")
+			}
+			prevVal = vc.Value
+			if vc.Count, err = d.intField("value count", uint64(e.N)); err != nil {
+				return e, err
+			}
+			if vc.Count == 0 {
+				return e, d.fail("histogram value with zero count")
+			}
+			total += vc.Count
+			cd.Values = append(cd.Values, vc)
+		}
+		if total != e.N {
+			return e, d.fail("edge %d->%d dim %d histogram sums to %d, want %d", e.From, e.To, cd.Dim, total, e.N)
+		}
+		e.Cats = append(e.Cats, cd)
+	}
+	return e, nil
+}

@@ -1,0 +1,199 @@
+package modelio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"stmaker/internal/sanitize"
+)
+
+// sampleModel is a small but fully-featured model: multiple sequences,
+// categorical and numeric dims, multi-edge map with histograms.
+func sampleModel() *Model {
+	return &Model{
+		Version:                 7,
+		FeatureKeys:             []string{"GR", "Spe", "Stay"},
+		CalibrationRadiusMeters: 100,
+		MinAnchorSpacingMeters:  50,
+		Stats: Stats{
+			Calibrated: 42, Skipped: 3, Repaired: 5,
+			Repairs: sanitize.Report{Input: 900, Output: 880, DroppedInvalid: 4, Reordered: 6, DroppedDuplicates: 2, DroppedOutliers: 5, CollapsedJitter: 3},
+		},
+		PopularSeqs: [][]int{{0, 1, 2}, {0, 2}, {3}},
+		Categorical: []bool{true, false, false},
+		Edges: []Edge{
+			{From: 0, To: 1, N: 3, Sums: []float64{10, 61.5, 1},
+				Cats: []CatDim{{Dim: 0, Values: []ValueCount{{Value: 2, Count: 2}, {Value: 6, Count: 1}}}}},
+			{From: 1, To: 2, N: 1, Sums: []float64{4, 33.25, 0},
+				Cats: []CatDim{{Dim: 0, Values: []ValueCount{{Value: 4, Count: 1}}}}},
+		},
+	}
+}
+
+func encode(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := Write(&buf, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Write reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sampleModel()
+	data := encode(t, m)
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	a := encode(t, sampleModel())
+	// Same content with edges and histogram values shuffled must encode
+	// to identical bytes (Write sorts).
+	m := sampleModel()
+	m.Edges[0], m.Edges[1] = m.Edges[1], m.Edges[0]
+	vs := m.Edges[1].Cats[0].Values
+	vs[0], vs[1] = vs[1], vs[0]
+	b := encode(t, m)
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding depends on input order")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	valid := encode(t, sampleModel())
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", valid[:10]},
+		{"bad magic", append([]byte("XXXX"), valid[4:]...)},
+		{"future version", func() []byte {
+			d := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint16(d[4:], 99)
+			return d
+		}()},
+		{"truncated payload", valid[:len(valid)-5]},
+		{"trailing garbage declared", func() []byte {
+			d := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint64(d[8:], uint64(len(valid))) // longer than present
+			return d
+		}()},
+		{"absurd length", func() []byte {
+			d := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint64(d[8:], 1<<62)
+			return d
+		}()},
+	}
+	for _, c := range cases {
+		if _, err := Read(bytes.NewReader(c.data)); !errors.Is(err, ErrInvalidModel) {
+			t.Errorf("%s: err = %v, want ErrInvalidModel", c.name, err)
+		}
+	}
+	// Every single flipped byte anywhere in the file must be rejected
+	// (header fields fail structurally; payload flips trip the CRC).
+	for i := range valid {
+		d := append([]byte(nil), valid...)
+		d[i] ^= 0x40
+		if _, err := Read(bytes.NewReader(d)); err == nil {
+			t.Fatalf("flipped byte %d accepted", i)
+		} else if !errors.Is(err, ErrInvalidModel) {
+			t.Fatalf("flipped byte %d: err = %v, want ErrInvalidModel", i, err)
+		}
+	}
+}
+
+// TestReadRejectsInvalidPayloads re-checksums hand-corrupted payloads so
+// they pass the CRC and exercise the structural validators themselves.
+func TestReadRejectsInvalidPayloads(t *testing.T) {
+	corrupt := func(name string, mut func(m *Model)) {
+		t.Helper()
+		m := sampleModel()
+		mut(m)
+		var buf bytes.Buffer
+		if _, err := Write(&buf, m); err != nil {
+			return // encoder already rejects it, equally fine
+		}
+		if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrInvalidModel) {
+			t.Errorf("%s: err = %v, want ErrInvalidModel", name, err)
+		}
+	}
+	corrupt("dims mismatch", func(m *Model) { m.Categorical = []bool{true} })
+	corrupt("histogram under-count", func(m *Model) { m.Edges[0].N = 9 })
+	corrupt("empty key", func(m *Model) { m.FeatureKeys[0] = "" })
+	corrupt("duplicate key", func(m *Model) { m.FeatureKeys[1] = "GR" })
+	corrupt("negative id", func(m *Model) { m.PopularSeqs[0][0] = -1 })
+	corrupt("histogram on numeric dim", func(m *Model) { m.Edges[0].Cats[0].Dim = 1 })
+	corrupt("duplicate edge", func(m *Model) { m.Edges[1] = m.Edges[0] })
+}
+
+// TestWriteValidates pins encoder-side strictness: a malformed in-memory
+// model must not produce a file at all.
+func TestWriteValidates(t *testing.T) {
+	cases := map[string]func(m *Model){
+		"sums dims":      func(m *Model) { m.Edges[0].Sums = []float64{1} },
+		"zero count":     func(m *Model) { m.Edges[0].N = 0 },
+		"negative stat":  func(m *Model) { m.Stats.Calibrated = -1 },
+		"long key":       func(m *Model) { m.FeatureKeys[0] = strings.Repeat("x", 300) },
+		"value over n":   func(m *Model) { m.Edges[1].Cats[0].Values[0].Count = 5 },
+		"histogram!=sum": func(m *Model) { m.Edges[0].Cats[0].Values[0].Count = 1 },
+	}
+	for name, mut := range cases {
+		m := sampleModel()
+		mut(m)
+		if _, err := Write(io.Discard, m); err == nil {
+			t.Errorf("%s: malformed model encoded without error", name)
+		}
+	}
+}
+
+func TestReadStopsAtModelBoundary(t *testing.T) {
+	// Two models back to back: Read must consume exactly one.
+	var buf bytes.Buffer
+	if _, err := Write(&buf, sampleModel()); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleModel()
+	second.Version = 8
+	if _, err := Write(&buf, second); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	m1, err := Read(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Version != 7 || m2.Version != 8 {
+		t.Fatalf("versions = %d, %d", m1.Version, m2.Version)
+	}
+}
+
+func TestEmptyModelRoundTrips(t *testing.T) {
+	m := &Model{Version: 1}
+	got, err := Read(bytes.NewReader(encode(t, m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 1 || len(got.Edges) != 0 || len(got.PopularSeqs) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}

@@ -267,7 +267,7 @@ func TestStatusForError(t *testing.T) {
 		err  error
 		want int
 	}{
-		{stmaker.ErrNotTrained, http.StatusInternalServerError},
+		{stmaker.ErrNotTrained, http.StatusServiceUnavailable},
 		{errors.New("partition: no 3-partition of 2 segments"), http.StatusInternalServerError},
 		{fmt.Errorf("%w: calibrate failed", stmaker.ErrInvalidInput), http.StatusUnprocessableEntity},
 		{fmt.Errorf("wrapped again: %w", fmt.Errorf("%w: x", stmaker.ErrInvalidInput)), http.StatusUnprocessableEntity},

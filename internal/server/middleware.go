@@ -138,11 +138,13 @@ func (srv *Server) recoverPanics(next http.Handler) http.Handler {
 }
 
 // infrastructurePath reports whether the route must stay reachable even
-// under load shedding: probes, scrapes and profiling never compete with
-// summarization for the in-flight budget.
+// under load shedding: probes, scrapes, profiling and the operator's
+// admin endpoints never compete with summarization for the in-flight
+// budget — an overloaded instance must still accept a reload that might
+// fix it.
 func infrastructurePath(p string) bool {
 	return p == "/healthz" || p == "/readyz" || p == "/metrics" ||
-		strings.HasPrefix(p, "/debug/pprof/")
+		strings.HasPrefix(p, "/debug/pprof/") || strings.HasPrefix(p, "/admin/")
 }
 
 // limit is the semaphore-based load shedder: past Options.MaxInFlight

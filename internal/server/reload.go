@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Metric names for the live model-reload path. docs/OBSERVABILITY.md
+// documents each; keep the two in sync. (The model_version gauge and
+// model_swaps_total counter live in the stmaker package, where the swap
+// happens.)
+const (
+	// MetricModelBuild times each model rebuild attempt (the Options.Retrain
+	// callback), successful or not, in seconds.
+	MetricModelBuild = "model_build_seconds"
+	// MetricModelReloadFailures counts rebuild attempts that failed; the
+	// previous model keeps serving, so any non-zero value means the
+	// instance is running on stale knowledge.
+	MetricModelReloadFailures = "model_reload_failures_total"
+)
+
+// TriggerReload starts a background model rebuild via Options.Retrain and
+// returns whether one was started. Reloads are single-flight: a trigger
+// while a rebuild is already running is dropped (with a log line), since
+// queueing retrains of the same corpus only duplicates work. The rebuild
+// runs entirely off the serving path — requests keep hitting the current
+// model, and only a successful rebuild publishes a replacement. A failed
+// rebuild is logged, counted in model_reload_failures_total, and changes
+// nothing else. reason tags the log lines ("sighup", "admin", ...).
+func (srv *Server) TriggerReload(reason string) bool {
+	if srv.opts.Retrain == nil {
+		srv.logger.Warn("model reload requested but no retrain source configured", "reason", reason)
+		return false
+	}
+	if !srv.reloading.CompareAndSwap(false, true) {
+		srv.logger.Warn("model reload already in progress, trigger dropped", "reason", reason)
+		return false
+	}
+	srv.logger.Info("model reload starting", "reason", reason)
+	go func() {
+		defer srv.reloading.Store(false)
+		t0 := time.Now()
+		err := srv.opts.Retrain()
+		srv.mx.Histogram(MetricModelBuild).ObserveSince(t0)
+		if err != nil {
+			srv.mx.Counter(MetricModelReloadFailures).Inc()
+			srv.logger.Error("model reload failed, previous model keeps serving",
+				"reason", reason, "error", err, "duration", time.Since(t0))
+			return
+		}
+		var version uint64
+		if m := srv.s.Model(); m != nil {
+			version = m.Version()
+		}
+		srv.logger.Info("model reload complete",
+			"reason", reason, "version", version, "duration", time.Since(t0))
+	}()
+	return true
+}
+
+// handleReload is POST /admin/reload (mounted only with
+// Options.EnableAdmin): it triggers the same background rebuild as
+// SIGHUP and returns immediately — 202 when a rebuild was started, 409
+// when one is already running, 501 when the server has no retrain
+// source. Progress is observable via model_version / model_swaps_total /
+// model_reload_failures_total on GET /metrics.
+func (srv *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if srv.opts.Retrain == nil {
+		http.Error(w, "no retrain source configured", http.StatusNotImplemented)
+		return
+	}
+	if !srv.TriggerReload("admin") {
+		http.Error(w, "reload already in progress", http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintln(w, "reload started")
+}

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"stmaker"
+	"stmaker/internal/simulate"
+	"stmaker/internal/traj"
+)
+
+// reloadWorld builds a private trained summarizer — the shared testServer
+// must not be retrained under other tests' feet — plus its training
+// corpus and a serve-time trip.
+func reloadWorld(t *testing.T) (*stmaker.Summarizer, []*traj.Raw, *traj.Raw) {
+	t.Helper()
+	city := simulate.NewCity(simulate.CityOptions{Rows: 6, Cols: 6, Seed: 21})
+	s, err := stmaker.New(stmaker.Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 60, Seed: 22, FixedHour: -1, Calm: true})
+	corpus := make([]*traj.Raw, 0, len(fleet))
+	for _, tr := range fleet {
+		corpus = append(corpus, tr.Raw)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		t.Fatal(err)
+	}
+	trip := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 1, Seed: 23, FixedHour: 9})[0].Raw
+	return s, corpus, trip
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestAdminReloadEndpoint(t *testing.T) {
+	s, corpus, _ := reloadWorld(t)
+	srv, err := NewWithOptions(s, Options{
+		Logger:      DiscardLogger(),
+		EnableAdmin: true,
+		Retrain:     func() error { _, err := s.Train(corpus); return err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := s.Model().Version()
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/admin/reload", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /admin/reload = %d, want 405", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("POST /admin/reload = %d, body %s", rec.Code, rec.Body.String())
+	}
+	waitFor(t, "model version bump", func() bool { return s.Model().Version() > v0 })
+}
+
+func TestAdminReloadNotMountedByDefault(t *testing.T) {
+	s, corpus, _ := reloadWorld(t)
+	srv, err := NewWithOptions(s, Options{
+		Logger:  DiscardLogger(),
+		Retrain: func() error { _, err := s.Train(corpus); return err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("POST /admin/reload without EnableAdmin = %d, want 404", rec.Code)
+	}
+}
+
+func TestAdminReloadWithoutRetrainSource(t *testing.T) {
+	s, _, _ := reloadWorld(t)
+	srv, err := NewWithOptions(s, Options{Logger: DiscardLogger(), EnableAdmin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.TriggerReload("test") {
+		t.Error("TriggerReload without a retrain source reported a start")
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusNotImplemented {
+		t.Errorf("POST /admin/reload without retrain source = %d, want 501", rec.Code)
+	}
+}
+
+// TestReloadSingleFlight pins that concurrent reload triggers collapse
+// into one rebuild: the second trigger is dropped, and the admin
+// endpoint reports the conflict.
+func TestReloadSingleFlight(t *testing.T) {
+	s, _, _ := reloadWorld(t)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	srv, err := NewWithOptions(s, Options{
+		Logger:      DiscardLogger(),
+		EnableAdmin: true,
+		Retrain: func() error {
+			once.Do(func() { close(started) })
+			<-block
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srv.TriggerReload("test") {
+		t.Fatal("first trigger did not start a reload")
+	}
+	<-started
+	if srv.TriggerReload("test") {
+		t.Error("second trigger started a concurrent reload")
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusConflict {
+		t.Errorf("POST /admin/reload during reload = %d, want 409", rec.Code)
+	}
+	close(block)
+	waitFor(t, "reload slot release", func() bool { return !srv.reloading.Load() })
+}
+
+// TestReloadFailureKeepsServing pins the failure contract: a rebuild
+// error is counted and logged but the previous model keeps serving,
+// version unchanged.
+func TestReloadFailureKeepsServing(t *testing.T) {
+	s, _, trip := reloadWorld(t)
+	srv, err := NewWithOptions(s, Options{
+		Logger:      DiscardLogger(),
+		EnableAdmin: true,
+		Retrain:     func() error { return errors.New("corpus store offline") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := s.Model().Version()
+	if !srv.TriggerReload("test") {
+		t.Fatal("trigger did not start a reload")
+	}
+	failures := srv.Metrics().Counter(MetricModelReloadFailures)
+	waitFor(t, "failure counted", func() bool { return failures.Value() == 1 })
+	if v := s.Model().Version(); v != v0 {
+		t.Errorf("failed reload changed model version %d -> %d", v0, v)
+	}
+	rec := post(t, srv, "/summarize", SummarizeRequest{Trajectory: trip})
+	if rec.Code != http.StatusOK {
+		t.Errorf("summarize after failed reload = %d, body %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestReloadUnderConcurrentLoad is the hot-swap acceptance test: model
+// reloads fire repeatedly while summarize traffic is in flight, and not
+// a single request may fail or observe a partially-swapped model.
+func TestReloadUnderConcurrentLoad(t *testing.T) {
+	s, corpus, trip := reloadWorld(t)
+	srv, err := NewWithOptions(s, Options{
+		Logger:      DiscardLogger(),
+		EnableAdmin: true,
+		Retrain:     func() error { _, err := s.Train(corpus); return err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := s.Model().Version()
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec := post(t, srv, "/summarize", SummarizeRequest{Trajectory: trip})
+				if rec.Code != http.StatusOK {
+					errs <- rec.Body.String()
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		srv.TriggerReload("test")
+		select {
+		case <-done:
+			close(errs)
+			for msg := range errs {
+				t.Fatalf("request failed during reload: %s", msg)
+			}
+			waitFor(t, "reload slot release", func() bool { return !srv.reloading.Load() })
+			if s.Model().Version() <= v0 {
+				t.Error("no reload completed during the test")
+			}
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -52,8 +52,11 @@ type Server struct {
 	opts    Options
 
 	// ready gates GET /readyz: true while serving, flipped false when a
-	// drain begins so load balancers stop routing here.
+	// drain begins so load balancers stop routing here. Readiness also
+	// requires a published model — see handleReady.
 	ready atomic.Bool
+	// reloading makes model reloads single-flight (see TriggerReload).
+	reloading atomic.Bool
 	// limiter is the in-flight semaphore for non-infrastructure routes;
 	// nil means unlimited.
 	limiter chan struct{}
@@ -82,6 +85,19 @@ type Options struct {
 	// deadline between stages and the request fails with 504 when it
 	// expires. 0 means no deadline.
 	RequestTimeout time.Duration
+	// Retrain, when non-nil, rebuilds the summarizer's model from its
+	// training source (cmd/stmakerd passes a closure over its corpus,
+	// retraining and optionally re-saving the model file). It runs in a
+	// background goroutine via TriggerReload — on SIGHUP or
+	// POST /admin/reload — and must publish the new model itself (Train
+	// does); an error leaves the serving model untouched.
+	Retrain func() error
+	// EnableAdmin mounts the mutating operational endpoints (currently
+	// POST /admin/reload). Off by default: model reloads cost a full
+	// retrain, so the endpoint is opt-in (the -admin flag of
+	// cmd/stmakerd) and meant to stay behind the operator's network
+	// boundary.
+	EnableAdmin bool
 }
 
 func (o Options) withDefaults() Options {
@@ -100,18 +116,21 @@ func DiscardLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
-// New builds a server with default options. The summarizer must already
-// be trained.
+// New builds a server with default options.
 func New(s *stmaker.Summarizer) (*Server, error) {
 	return NewWithOptions(s, Options{})
 }
 
-// NewWithOptions builds a server. The summarizer must already be trained;
-// its metrics registry is shared with the HTTP middleware so one
-// GET /metrics snapshot covers both pipeline stages and request traffic.
+// NewWithOptions builds a server. The summarizer's metrics registry is
+// shared with the HTTP middleware so one GET /metrics snapshot covers
+// both pipeline stages and request traffic. The summarizer need not be
+// trained yet: until a model is published (Train or LoadModel),
+// GET /readyz answers 503 so load balancers hold traffic, and a
+// summarization request that does slip through gets a 503 rather than a
+// wrong answer.
 func NewWithOptions(s *stmaker.Summarizer, opts Options) (*Server, error) {
-	if s == nil || !s.Trained() {
-		return nil, fmt.Errorf("server: summarizer must be trained")
+	if s == nil {
+		return nil, fmt.Errorf("server: summarizer is required")
 	}
 	opts = opts.withDefaults()
 	srv := &Server{
@@ -129,6 +148,9 @@ func NewWithOptions(s *stmaker.Summarizer, opts Options) (*Server, error) {
 	srv.mux.HandleFunc("/healthz", srv.handleHealth)
 	srv.mux.HandleFunc("/readyz", srv.handleReady)
 	srv.mux.HandleFunc("/metrics", srv.handleMetrics)
+	if opts.EnableAdmin {
+		srv.mux.HandleFunc("/admin/reload", srv.handleReload)
+	}
 	if opts.EnablePprof {
 		srv.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		srv.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -207,9 +229,11 @@ func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReady is the readiness probe: 200 while serving, 503 once a
-// drain has begun (or SetReady(false) was called), so load balancers
-// stop routing new work here while in-flight requests finish.
+// handleReady is the readiness probe: 200 while serving with a published
+// model, 503 before the first model lands (a warm-starting instance that
+// hasn't finished Train/LoadModel yet) and 503 again once a drain has
+// begun (or SetReady(false) was called), so load balancers only route
+// work here when it can actually be answered.
 func (srv *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
@@ -219,6 +243,10 @@ func (srv *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	if !srv.s.Trained() {
+		http.Error(w, "no model published yet", http.StatusServiceUnavailable)
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
 }
@@ -226,14 +254,18 @@ func (srv *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 // statusForError maps a pipeline error to its HTTP status: deadline and
 // cancellation are a 504 (the server gave up, not the client's data),
 // input-shaped errors (validation, sanitizer rejection, calibration) are
-// a 422, and everything else — ErrNotTrained, partition failures — is a
-// 500, because the client's request was fine.
+// a 422, a request arriving before any model is published is a 503 (the
+// readiness probe already says so; retrying elsewhere will succeed), and
+// everything else — partition failures — is a 500, because the client's
+// request was fine.
 func statusForError(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	case stmaker.IsInputError(err):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, stmaker.ErrNotTrained):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

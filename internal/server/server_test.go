@@ -66,7 +66,10 @@ func post(t *testing.T, srv *Server, path string, body interface{}) *httptest.Re
 	return rec
 }
 
-func TestNewRequiresTrainedSummarizer(t *testing.T) {
+// TestNewAcceptsUntrainedSummarizer pins the warm-start contract: a
+// server may be built before any model is published, but it advertises
+// not-ready and answers summarization with 503 until one lands.
+func TestNewAcceptsUntrainedSummarizer(t *testing.T) {
 	if _, err := New(nil); err == nil {
 		t.Error("nil summarizer accepted")
 	}
@@ -75,8 +78,31 @@ func TestNewRequiresTrainedSummarizer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(s); err == nil {
-		t.Error("untrained summarizer accepted")
+	srv, err := New(s)
+	if err != nil {
+		t.Fatalf("untrained summarizer rejected: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz before model = %d, want 503", rec.Code)
+	}
+	trips := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 30, Seed: 7, FixedHour: -1, Calm: true})
+	corpus := make([]*traj.Raw, 0, len(trips))
+	for _, tr := range trips {
+		corpus = append(corpus, tr.Raw)
+	}
+	rec = post(t, srv, "/summarize", SummarizeRequest{Trajectory: corpus[0]})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("summarize before model = %d, want 503", rec.Code)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("readyz after train = %d, want 200", rec.Code)
 	}
 }
 

@@ -1,0 +1,358 @@
+package stmaker
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"stmaker/internal/feature"
+	"stmaker/internal/hits"
+	"stmaker/internal/simulate"
+	"stmaker/internal/traj"
+)
+
+func rawCorpus(trips []*simulate.Trip) []*traj.Raw {
+	corpus := make([]*traj.Raw, 0, len(trips))
+	for _, tr := range trips {
+		corpus = append(corpus, tr.Raw)
+	}
+	return corpus
+}
+
+// summaryFingerprint renders a summary into one comparable string,
+// including the numeric feature values, so two summaries compare
+// bit-for-bit rather than just textually.
+func summaryFingerprint(t *testing.T, s *Summarizer, trip *traj.Raw) string {
+	t.Helper()
+	sum, err := s.Summarize(trip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Describe(sum)
+}
+
+// TestModelRoundTripByteIdentical is the warm-start correctness
+// acceptance test: Save → Load into a fresh summarizer must serve
+// byte-identical summaries, and re-saving the loaded model must
+// reproduce the file byte for byte.
+func TestModelRoundTripByteIdentical(t *testing.T) {
+	city, s := newWorld(t, nil)
+	trip := eventfulTrip(t, city, 31)
+	want := summaryFingerprint(t, s, trip.Raw)
+
+	var file bytes.Buffer
+	n, err := s.SaveModel(&file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(file.Len()) || n == 0 {
+		t.Fatalf("SaveModel reported %d bytes, wrote %d", n, file.Len())
+	}
+
+	cold, err := New(Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Trained() {
+		t.Fatal("fresh summarizer claims to be trained")
+	}
+	m, err := ReadModelFrom(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != s.Model().Version() {
+		t.Errorf("loaded version %d, saved %d", m.Version(), s.Model().Version())
+	}
+	if m.NumTransitions() != s.Model().NumTransitions() {
+		t.Errorf("loaded transitions %d, saved %d", m.NumTransitions(), s.Model().NumTransitions())
+	}
+	if err := cold.LoadModel(m); err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Trained() {
+		t.Fatal("warm-started summarizer not trained")
+	}
+	if got := summaryFingerprint(t, cold, trip.Raw); got != want {
+		t.Errorf("warm-start summary diverged:\n got %q\nwant %q", got, want)
+	}
+
+	var file2 bytes.Buffer
+	if _, err := cold.SaveModel(&file2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(file.Bytes(), file2.Bytes()) {
+		t.Error("save -> load -> save is not byte-identical")
+	}
+}
+
+// TestRetrainFullReplace pins re-Train semantics: the new corpus fully
+// replaces the old knowledge, never merges with it.
+func TestRetrainFullReplace(t *testing.T) {
+	city, s := newWorld(t, nil)
+	small := rawCorpus(simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: 25, Seed: 77, FixedHour: -1, Calm: true,
+	}))
+	stats, err := s.Train(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A summarizer that has only ever seen the small corpus is the
+	// ground truth for "replaced, not merged".
+	fresh, err := New(Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshStats, err := fresh.Train(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transitions != freshStats.Transitions {
+		t.Errorf("retrained transitions = %d, fresh train = %d (merge leak?)",
+			stats.Transitions, freshStats.Transitions)
+	}
+	if got, want := len(s.Popular().Sequences()), len(fresh.Popular().Sequences()); got != want {
+		t.Errorf("retrained popular sequences = %d, fresh train = %d", got, want)
+	}
+
+	// Byte-level proof: aside from the version counter, the retrained
+	// model must serialize identically to the fresh one.
+	reEncode := func(src *Summarizer) []byte {
+		var buf bytes.Buffer
+		if _, err := src.SaveModel(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ReadModelFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.version = 0
+		var out bytes.Buffer
+		if _, err := m.WriteTo(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	if !bytes.Equal(reEncode(s), reEncode(fresh)) {
+		t.Error("retrained model differs from fresh-trained model on the same corpus")
+	}
+}
+
+// TestConcurrentTrainAndSummarize is the hot-swap race regression test:
+// repeated re-Trains run while Summarize traffic is in flight on a warm
+// summarizer (and its clones), and every request must succeed against a
+// complete model. Run under -race, this pins the atomic-publish design.
+func TestConcurrentTrainAndSummarize(t *testing.T) {
+	city, s := newWorld(t, nil)
+	trip := eventfulTrip(t, city, 63)
+	retrainCorpus := rawCorpus(simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: 20, Seed: 81, FixedHour: -1, Calm: true,
+	}))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	stopSummarize := make(chan struct{})
+	// Readers: the summarizer itself plus a clone, which shares the same
+	// model cell and must observe the retrains too.
+	for _, reader := range []*Summarizer{s, s.WithThreshold(0.3)} {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(r *Summarizer) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stopSummarize:
+						return
+					default:
+					}
+					if _, err := r.Summarize(trip.Raw); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(reader)
+		}
+	}
+	var trainWG sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		trainWG.Add(1)
+		go func() {
+			defer trainWG.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := s.Train(retrainCorpus); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	trainWG.Wait()
+	close(stopSummarize)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent train/summarize failed: %v", err)
+	}
+	if got := s.Model().Version(); got < 7 {
+		t.Errorf("model version = %d after 6 retrains on version 1", got)
+	}
+}
+
+// TestLoadModelRejectsMismatch pins the fingerprint check, both ways: a
+// stale model missing a feature the summarizer now has, and a model
+// carrying a custom feature the summarizer lacks.
+func TestLoadModelRejectsMismatch(t *testing.T) {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 6, Cols: 6, BlockMeters: 500, Seed: 51})
+	visits := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 52})
+	city.Landmarks.InferSignificance(200, visits, hits.Options{})
+	corpus := rawCorpus(simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: 40, Seed: 53, FixedHour: -1, Calm: true,
+	}))
+	baseCfg := Config{Graph: city.Graph, Landmarks: city.Landmarks}
+
+	trained := func(mut func(*Summarizer) error) *Model {
+		t.Helper()
+		s, err := New(baseCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mut != nil {
+			if err := mut(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.Train(corpus); err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip through the codec so the rejection covers models
+		// loaded from disk, not just in-memory ones.
+		var buf bytes.Buffer
+		if _, err := s.SaveModel(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ReadModelFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	defaultModel := trained(nil)
+	customModel := trained(func(s *Summarizer) error {
+		return s.RegisterFeature(feature.NewSpeedChange(), nil)
+	})
+
+	// Stale model: the summarizer has since grown a custom feature.
+	s, err := New(baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterFeature(feature.NewSpeedChange(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadModel(defaultModel); !errors.Is(err, ErrModelMismatch) {
+		t.Errorf("stale model load err = %v, want ErrModelMismatch", err)
+	}
+	if s.Trained() {
+		t.Error("rejected load still published a model")
+	}
+	if err := s.LoadModel(customModel); err != nil {
+		t.Errorf("matching custom model rejected: %v", err)
+	}
+
+	// Extra custom feature in the model, absent from the summarizer.
+	s2, err := New(baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LoadModel(customModel); !errors.Is(err, ErrModelMismatch) {
+		t.Errorf("extra-feature model load err = %v, want ErrModelMismatch", err)
+	}
+
+	// Calibration parameter drift.
+	s3, err := New(Config{Graph: city.Graph, Landmarks: city.Landmarks, CalibrationRadiusMeters: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.LoadModel(defaultModel); !errors.Is(err, ErrModelMismatch) {
+		t.Errorf("calibration-drift model load err = %v, want ErrModelMismatch", err)
+	}
+
+	// Nil model and registration-after-load guards.
+	if err := s.LoadModel(nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	if err := s.RegisterFeature(dummyFeature{}, nil); err == nil {
+		t.Error("RegisterFeature after LoadModel accepted")
+	}
+}
+
+// TestModelVersionAndSwapMetrics pins the publish bookkeeping: versions
+// increase monotonically across Train, FlattenHistoryForAblation and
+// LoadModel, and the model_version / model_swaps_total metrics track
+// them.
+func TestModelVersionAndSwapMetrics(t *testing.T) {
+	city, s := newWorld(t, nil)
+	if got := s.Model().Version(); got != 1 {
+		t.Fatalf("version after first train = %d, want 1", got)
+	}
+	small := rawCorpus(simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: 20, Seed: 91, FixedHour: -1, Calm: true,
+	}))
+	if _, err := s.Train(small); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Model().Version(); got != 2 {
+		t.Fatalf("version after retrain = %d, want 2", got)
+	}
+	var buf bytes.Buffer
+	if _, err := s.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s.FlattenHistoryForAblation()
+	if got := s.Model().Version(); got != 3 {
+		t.Fatalf("version after flatten = %d, want 3", got)
+	}
+	// Re-loading the version-2 snapshot cannot move the version backwards.
+	m, err := ReadModelFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadModel(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Model().Version(); got != 4 {
+		t.Fatalf("version after re-load = %d, want 4", got)
+	}
+	if got := s.Metrics().Counter(MetricModelSwaps).Value(); got != 4 {
+		t.Errorf("model_swaps_total = %d, want 4", got)
+	}
+	if got := s.Metrics().Counter(MetricModelVersion).Value(); got != 4 { //nolint:stmaker/metricnames -- reading the model_version gauge
+		t.Errorf("model_version = %d, want 4", got)
+	}
+
+	// A fresh summarizer warm-started from a saved model keeps the saved
+	// version: monitoring can tell which knowledge generation is serving.
+	cold, err := New(Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.LoadModel(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := cold.Model().Version(); got != 2 {
+		t.Errorf("warm-start version = %d, want saved 2", got)
+	}
+}
+
+func TestSaveModelRequiresModel(t *testing.T) {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 4, Cols: 4, Seed: 5})
+	s, err := New(Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.SaveModel(&buf); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("SaveModel untrained err = %v, want ErrNotTrained", err)
+	}
+}

@@ -91,6 +91,13 @@ const (
 	MetricSPCacheMisses = "roadnet_sp_cache_misses_total"
 	// MetricSPCacheEvictions counts LRU evictions from the cache.
 	MetricSPCacheEvictions = "roadnet_sp_cache_evictions_total"
+
+	// MetricModelVersion is a gauge holding the currently-served model's
+	// version (see Model.Version); 0 until the first publish.
+	MetricModelVersion = "model_version"
+	// MetricModelSwaps counts model publications — initial training,
+	// re-training and warm-start loads all increment it.
+	MetricModelSwaps = "model_swaps_total"
 )
 
 // ErrNotTrained is returned by Summarize before a training corpus has been
@@ -189,9 +196,13 @@ type TrainStats struct {
 	Repairs sanitize.Report
 }
 
-// Summarizer is the end-to-end STMaker pipeline. It is safe for concurrent
-// Summarize calls after training; RegisterFeature and Train must happen
-// before concurrent use begins.
+// Summarizer is the end-to-end STMaker pipeline. All trained knowledge
+// lives in an immutable Model behind an atomic pointer, so Summarize is
+// safe to call concurrently with Train, LoadModel and other Summarize
+// calls: each request reads one consistent snapshot, and a re-train
+// swaps in its replacement atomically. Only RegisterFeature must happen
+// before the first model is published, since it changes the feature
+// vector layout the model is keyed to.
 type Summarizer struct {
 	cfg        Config
 	registry   *feature.Registry
@@ -204,9 +215,13 @@ type Summarizer struct {
 	mx     *metrics.Registry
 	timers stageTimers
 
-	popular *history.Popular
-	featMap *history.FeatureMap
-	trained bool
+	// model holds the published knowledge snapshot (nil before the first
+	// Train/LoadModel); pubMu serializes publishes. Both are pointers so
+	// the shallow clones made by WithWeights/WithThreshold share the same
+	// cell — a retrain is visible to every clone — and so clones never
+	// copy a lock or an atomic value.
+	model *atomic.Pointer[Model]
+	pubMu *sync.Mutex
 }
 
 // stageTimers holds the pre-resolved per-stage histograms so the hot path
@@ -290,6 +305,8 @@ func New(cfg Config) (*Summarizer, error) {
 		fallback:  fallback,
 		mx:        mx,
 		timers:    newStageTimers(mx),
+		model:     &atomic.Pointer[Model]{},
+		pubMu:     &sync.Mutex{},
 	}
 	if cfg.Sanitize != nil {
 		s.sanitizer = sanitize.New(*cfg.Sanitize)
@@ -310,11 +327,12 @@ func (s *Summarizer) Registry() *feature.Registry { return s.registry }
 func (s *Summarizer) Templates() *summarize.TemplateSet { return s.templates }
 
 // RegisterFeature installs a custom feature with its phrase template
-// (§VI-B). It must be called before Train, since the historical feature
-// map's dimensionality is fixed at training time.
+// (§VI-B). It must be called before Train or LoadModel, since the
+// historical feature map's dimensionality — and the model fingerprint —
+// are fixed at training time.
 func (s *Summarizer) RegisterFeature(e feature.Extractor, clause summarize.ClauseRenderer) error {
-	if s.trained {
-		return errors.New("stmaker: RegisterFeature must be called before Train")
+	if s.model.Load() != nil {
+		return errors.New("stmaker: RegisterFeature must be called before Train or LoadModel")
 	}
 	if clause != nil {
 		// Validate the clause before touching the registry so a failure
@@ -335,13 +353,16 @@ func (s *Summarizer) Calibrate(r *traj.Raw) (*traj.Symbolic, error) {
 }
 
 // Train learns the historical knowledge (§V) from a corpus of raw
-// trajectories: the popular-route statistics and the per-transition
-// historical feature map. Train may be called again to retrain on a new
-// corpus; knowledge is replaced, not merged.
+// trajectories — the popular-route statistics and the per-transition
+// historical feature map — then publishes it as a new Model in one
+// atomic swap. Train may be called again, including while Summarize
+// traffic is in flight: the new model is built completely off to the
+// side and replaces the old one wholesale (never merged), so concurrent
+// requests see either the old knowledge or the new, never a mix.
 //
 // Calibration of the corpus is embarrassingly parallel and runs across
 // Config.TrainWorkers goroutines (default GOMAXPROCS); the aggregation in
-// TrainSymbolic stays single-writer. Corpus order is preserved, so Train
+// trainSymbolic stays single-writer. Corpus order is preserved, so Train
 // is deterministic regardless of worker count.
 func (s *Summarizer) Train(corpus []*traj.Raw) (TrainStats, error) {
 	defer s.timers.train.ObserveSince(time.Now())
@@ -369,8 +390,8 @@ func (s *Summarizer) Train(corpus []*traj.Raw) (TrainStats, error) {
 	if len(symbolic) == 0 {
 		return stats, errors.New("stmaker: no corpus trajectory could be calibrated")
 	}
-	s.TrainSymbolic(symbolic)
-	stats.Transitions = s.featMap.NumEdges()
+	m := s.trainSymbolic(symbolic, stats)
+	stats.Transitions = m.stats.Transitions
 	return stats, nil
 }
 
@@ -433,22 +454,57 @@ func (s *Summarizer) calibrateCorpus(corpus []*traj.Raw) ([]*traj.Symbolic, []sa
 	return out, reports
 }
 
-// TrainSymbolic learns from pre-calibrated trajectories.
-func (s *Summarizer) TrainSymbolic(corpus []*traj.Symbolic) {
-	s.popular = history.BuildPopular(corpus)
-	s.featMap = history.BuildFeatureMap(corpus, s.registry, s.ctx)
-	s.trained = true
+// TrainSymbolic learns from pre-calibrated trajectories and publishes the
+// resulting Model, which it returns. Like Train, it fully replaces any
+// previous knowledge and is safe to call while Summarize traffic is in
+// flight.
+func (s *Summarizer) TrainSymbolic(corpus []*traj.Symbolic) *Model {
+	return s.trainSymbolic(corpus, TrainStats{Calibrated: len(corpus)})
 }
 
-// Trained reports whether historical knowledge is available.
-func (s *Summarizer) Trained() bool { return s.trained }
+// trainSymbolic builds the knowledge snapshot off to the side and
+// publishes it. Feature extraction runs in a private context sharing the
+// serving context's map resources: extraction is deterministic given the
+// same graph, matcher and landmarks, and a private context keeps the
+// corpus segments out of the long-lived serving edge cache, so repeated
+// live retrains don't accumulate memory.
+func (s *Summarizer) trainSymbolic(corpus []*traj.Symbolic, stats TrainStats) *Model {
+	tctx := feature.NewContext(s.ctx.Graph, s.ctx.Matcher, s.ctx.Landmarks)
+	tctx.HMM = s.ctx.HMM
+	tctx.MatchRadiusMeters = s.ctx.MatchRadiusMeters
+	featMap := history.BuildFeatureMap(corpus, s.registry, tctx)
+	stats.Transitions = featMap.NumEdges()
+	return s.publish(Model{
+		featureKeys:             s.featureKeys(),
+		calibrationRadiusMeters: s.cfg.CalibrationRadiusMeters,
+		minAnchorSpacingMeters:  s.cfg.MinAnchorSpacingMeters,
+		stats:                   stats,
+		popular:                 history.BuildPopular(corpus),
+		featMap:                 featMap,
+	})
+}
 
-// Popular exposes the trained popular-route knowledge (nil before Train).
-func (s *Summarizer) Popular() *history.Popular { return s.popular }
+// Trained reports whether a knowledge model has been published (via
+// Train, TrainSymbolic or LoadModel).
+func (s *Summarizer) Trained() bool { return s.model.Load() != nil }
 
-// FeatureMap exposes the trained historical feature map (nil before
-// Train).
-func (s *Summarizer) FeatureMap() *history.FeatureMap { return s.featMap }
+// Popular exposes the current model's popular-route knowledge (nil
+// before the first Train/LoadModel).
+func (s *Summarizer) Popular() *history.Popular {
+	if m := s.model.Load(); m != nil {
+		return m.popular
+	}
+	return nil
+}
+
+// FeatureMap exposes the current model's historical feature map (nil
+// before the first Train/LoadModel).
+func (s *Summarizer) FeatureMap() *history.FeatureMap {
+	if m := s.model.Load(); m != nil {
+		return m.featMap
+	}
+	return nil
+}
 
 // WithWeights returns a summarizer that shares this one's map resources
 // and trained knowledge but applies different feature weights — the cheap
@@ -467,13 +523,16 @@ func (s *Summarizer) WithThreshold(eta float64) *Summarizer {
 	return &clone
 }
 
-// FlattenHistoryForAblation collapses the historical feature map so every
-// known transition carries the corpus-wide global regular vector, removing
-// the per-edge knowledge of §V-B. It exists for the ablation benches that
-// quantify the value of the historical feature map.
+// FlattenHistoryForAblation publishes a model whose historical feature
+// map is collapsed so every known transition carries the corpus-wide
+// global regular vector, removing the per-edge knowledge of §V-B. It
+// exists for the ablation benches that quantify the value of the
+// historical feature map. No-op before the first Train.
 func (s *Summarizer) FlattenHistoryForAblation() {
-	if s.featMap != nil {
-		s.featMap = s.featMap.Flattened()
+	if m := s.model.Load(); m != nil {
+		flat := *m
+		flat.featMap = m.featMap.Flattened()
+		s.publish(flat)
 	}
 }
 
@@ -548,7 +607,10 @@ func (s *Summarizer) checkCtx(ctx context.Context) error {
 }
 
 func (s *Summarizer) summarizeSymbolic(ctx context.Context, sym *traj.Symbolic, k int) (*summarize.Summary, error) {
-	if !s.trained {
+	// One atomic load pins the knowledge snapshot for the whole request;
+	// a concurrent retrain publishing a successor does not disturb it.
+	model := s.model.Load()
+	if model == nil {
 		s.mx.Counter(MetricSummarizeErrors).Inc()
 		return nil, ErrNotTrained
 	}
@@ -581,8 +643,8 @@ func (s *Summarizer) summarizeSymbolic(ctx context.Context, sym *traj.Symbolic, 
 	selector := &summarize.Selector{
 		Registry:           s.registry,
 		Ctx:                s.ctx,
-		Popular:            s.popular,
-		FeatureMap:         s.featMap,
+		Popular:            model.popular,
+		FeatureMap:         model.featMap,
 		Landmarks:          s.cfg.Landmarks,
 		Weights:            s.cfg.Weights,
 		Threshold:          s.cfg.Threshold,

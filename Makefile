@@ -35,3 +35,4 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzLoadTrips -fuzztime=15s ./internal/worldio
 	go test -run='^$$' -fuzz=FuzzSanitize -fuzztime=15s ./internal/sanitize
 	go test -run='^$$' -fuzz=FuzzReadModel -fuzztime=15s ./internal/modelio
+	go test -run='^$$' -fuzz=FuzzParseManifest -fuzztime=15s ./internal/modelio

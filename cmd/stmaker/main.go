@@ -5,16 +5,21 @@
 // Usage:
 //
 //	stmaker -world world.json -train train.json -input test.json [-k 0] [-n 10] [-v]
+//	        [-save-model model.stm]
 //
 // With -k 0 (default) the globally optimal partition is used; -k > 0
 // forces that many partitions. -v additionally prints the selected
-// features and their irregular rates.
+// features and their irregular rates. -save-model persists the trained
+// model (atomic temp-file + rename) for stmakerd to warm-start from —
+// in single-region mode via -model, or in a multi-region -model-dir
+// layout (docs/MULTI_REGION.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"stmaker"
 	"stmaker/internal/landmark"
@@ -31,6 +36,7 @@ func main() {
 		k         = flag.Int("k", 0, "partition count (0 = optimal)")
 		n         = flag.Int("n", 10, "max trajectories to summarize (0 = all)")
 		verbose   = flag.Bool("v", false, "print selected features per partition")
+		savePath  = flag.String("save-model", "", "persist the trained model to this file")
 	)
 	flag.Parse()
 
@@ -52,6 +58,12 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "trained on %d/%d trajectories (%d transitions)\n",
 		stats.Calibrated, len(train), stats.Transitions)
+	if *savePath != "" {
+		if err := saveModel(s, *savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved model to %s\n", *savePath)
+	}
 
 	input, err := loadTrips(*inputPath)
 	if err != nil {
@@ -90,6 +102,29 @@ func loadTrips(path string) ([]*traj.Raw, error) {
 	}
 	defer f.Close()
 	return worldio.LoadTrips(f)
+}
+
+// saveModel persists the trained model atomically (temp file in the
+// destination directory + rename), matching stmakerd's -save-model
+// semantics so a crash mid-write never leaves a truncated model file.
+func saveModel(s *stmaker.Summarizer, path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	if _, err := s.SaveModel(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }
 
 func fatal(err error) {

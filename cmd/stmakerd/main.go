@@ -12,24 +12,37 @@
 //	         [-log text|json] [-max-body N] [-max-inflight N]
 //	         [-timeout D] [-drain D] [-no-sanitize] [-hmm] [-sp-cache N]
 //
+//	stmakerd -model-dir models/ [-model-budget N] [-preload auto|none|all|r1,r2]
+//	         [same serving flags as above]
+//
 // Endpoints (see docs/API.md for the wire format and docs/ROBUSTNESS.md
 // for the failure-mode contract):
 //
-//	POST /summarize[?k=N]  {"trajectory": {...traj.Raw JSON...}, "k": N}
+//	POST /summarize[?k=N][&region=R]  {"trajectory": {...traj.Raw JSON...}, "k": N, "region": "R"}
 //	GET  /healthz          liveness probe
 //	GET  /readyz           readiness probe (503 while draining or model-less)
 //	GET  /metrics          JSON snapshot of stage + request metrics
-//	POST /admin/reload     trigger a live retrain (only with -admin)
+//	POST /admin/reload[?region=R]  trigger a live reload (only with -admin)
 //	GET  /debug/pprof/*    Go profiling handlers (only with -pprof)
 //
-// The model lifecycle: -model warm-starts from a file written by
-// -save-model, skipping the initial training entirely; -save-model
+// Single-region model lifecycle: -model warm-starts from a file written
+// by -save-model, skipping the initial training entirely; -save-model
 // persists the model (atomically, via temp file + rename) after every
 // successful training, initial or live. SIGHUP — or POST /admin/reload —
 // re-reads the -train corpus from disk and retrains in the background,
 // hot-swapping the new model in atomically on success; a failed rebuild
 // is logged and counted (model_reload_failures_total) while the previous
 // model keeps serving.
+//
+// Multi-region mode: -model-dir points at a directory whose
+// subdirectories each hold one region's world and trained model (plus
+// an optional region.json manifest — see docs/MULTI_REGION.md). Regions
+// load lazily on first request and are evicted least-recently-used when
+// -model-budget is exceeded; requests route by the region key in the
+// request or by the spatial index over region bounding boxes. SIGHUP
+// reloads the model file of every loaded region; POST
+// /admin/reload?region=R reloads one. -model-dir is mutually exclusive
+// with -world/-train/-model/-save-model.
 //
 // Every request is logged as one structured line (log/slog) to stderr;
 // -log json switches the log format for machine ingestion. Metric names
@@ -44,10 +57,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"stmaker"
+	"stmaker/internal/landmark"
+	"stmaker/internal/metrics"
+	"stmaker/internal/registry"
+	"stmaker/internal/roadnet"
 	"stmaker/internal/sanitize"
 	"stmaker/internal/server"
 	"stmaker/internal/worldio"
@@ -70,8 +88,24 @@ func main() {
 		noSanitize  = flag.Bool("no-sanitize", false, "disable input repair (sanitization) before calibration")
 		useHMM      = flag.Bool("hmm", false, "use HMM (Viterbi) map matching for routing features")
 		spCache     = flag.Int("sp-cache", 0, "shortest-path cache entries for HMM matching (0 default, <0 disables)")
+		modelDir    = flag.String("model-dir", "", "serve every region under this directory (multi-region mode)")
+		modelBudget = flag.Int64("model-budget", 0, "memory budget in bytes for loaded region models (LRU eviction beyond; 0 unlimited)")
+		preload     = flag.String("preload", "auto", "regions to load at boot: auto (first loadable), none, all, or a comma-separated list")
 	)
 	flag.Parse()
+
+	// -model-dir switches the model lifecycle wholesale; mixing it with
+	// the single-region source flags would silently ignore one of them.
+	if *modelDir != "" {
+		conflicting := map[string]bool{"world": true, "train": true, "model": true, "save-model": true}
+		flag.Visit(func(f *flag.Flag) {
+			if conflicting[f.Name] {
+				fmt.Fprintf(os.Stderr, "stmakerd: -%s cannot be combined with -model-dir\n\n", f.Name)
+				flag.Usage()
+				os.Exit(2)
+			}
+		})
+	}
 
 	var handler slog.Handler
 	switch *logFormat {
@@ -86,6 +120,25 @@ func main() {
 	}
 	logger := slog.New(handler)
 	slog.SetDefault(logger)
+
+	if *modelDir != "" {
+		serveMultiRegion(logger, multiConfig{
+			dir:         *modelDir,
+			budget:      *modelBudget,
+			preload:     *preload,
+			admin:       *adminOn,
+			addr:        *addr,
+			pprof:       *pprofOn,
+			maxBody:     *maxBody,
+			maxInflight: *maxInflight,
+			timeout:     *timeout,
+			drain:       *drain,
+			sanitize:    !*noSanitize,
+			hmm:         *useHMM,
+			spCache:     *spCache,
+		})
+		return
+	}
 
 	wf, err := os.Open(*worldPath)
 	if err != nil {
@@ -150,7 +203,7 @@ func main() {
 
 	warm := false
 	if *modelPath != "" {
-		m, err := loadModel(*modelPath)
+		m, err := stmaker.LoadModelFile(*modelPath)
 		if err == nil {
 			err = s.LoadModel(m)
 		}
@@ -214,14 +267,112 @@ func main() {
 	logger.Info("stmakerd stopped")
 }
 
-// loadModel reads a saved model file (see stmaker.ReadModelFrom).
-func loadModel(path string) (*stmaker.Model, error) {
-	f, err := os.Open(path)
+// multiConfig carries the resolved flags of multi-region mode.
+type multiConfig struct {
+	dir         string
+	budget      int64
+	preload     string
+	admin       bool
+	addr        string
+	pprof       bool
+	maxBody     int64
+	maxInflight int
+	timeout     time.Duration
+	drain       time.Duration
+	sanitize    bool
+	hmm         bool
+	spCache     int
+}
+
+// serveMultiRegion is the -model-dir serving path: discover regions,
+// preload per -preload, and serve the registry until shutdown. Every
+// region's summarizer is built with the same pipeline flags the
+// single-region mode would use.
+func serveMultiRegion(logger *slog.Logger, cfg multiConfig) {
+	reg, err := registry.Open(cfg.dir, registry.Options{
+		Logger:   logger,
+		MaxBytes: cfg.budget,
+		NewSummarizer: func(g *roadnet.Graph, lms *landmark.Set, mx *metrics.Registry) (*stmaker.Summarizer, error) {
+			scfg := stmaker.Config{
+				Graph:          g,
+				Landmarks:      lms,
+				Metrics:        mx,
+				UseHMMMatching: cfg.hmm,
+				SPCacheEntries: cfg.spCache,
+			}
+			if cfg.sanitize {
+				scfg.Sanitize = &sanitize.Options{}
+			}
+			return stmaker.New(scfg)
+		},
+	})
 	if err != nil {
-		return nil, err
+		fatal(logger, err)
 	}
-	defer f.Close()
-	return stmaker.ReadModelFrom(f)
+	logger.Info("regions discovered", "dir", cfg.dir, "regions", reg.Names())
+
+	// Preload proves servability before the listener opens: a fleet whose
+	// every region fails to load should crash-loop loudly at boot, not
+	// 404 quietly at 3am. -preload none skips the proof deliberately
+	// (readyz stays 503 until the first successful lazy load).
+	switch cfg.preload {
+	case "none":
+	case "auto":
+		name, err := reg.PreloadAny()
+		if err != nil {
+			fatal(logger, fmt.Errorf("no region is loadable: %w", err))
+		}
+		logger.Info("preloaded", "region", name)
+	case "all":
+		if err := reg.Preload(reg.Names()); err != nil {
+			fatal(logger, err)
+		}
+	default:
+		if err := reg.Preload(strings.Split(cfg.preload, ",")); err != nil {
+			fatal(logger, err)
+		}
+	}
+
+	srv, err := server.NewMultiRegion(reg, server.Options{
+		Logger:         logger,
+		EnablePprof:    cfg.pprof,
+		EnableAdmin:    cfg.admin,
+		MaxBodyBytes:   cfg.maxBody,
+		MaxInFlight:    cfg.maxInflight,
+		RequestTimeout: cfg.timeout,
+	})
+	if err != nil {
+		fatal(logger, err)
+	}
+	logger.Info("stmakerd listening",
+		"addr", cfg.addr,
+		"mode", "multi-region",
+		"regions", len(reg.Names()),
+		"budget", cfg.budget,
+		"sanitize", cfg.sanitize,
+		"hmm", cfg.hmm,
+		"admin", cfg.admin,
+		"pprof", cfg.pprof,
+	)
+
+	// SIGHUP re-reads the model file of every loaded region — the
+	// multi-region analogue of the single-region live retrain.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			n := reg.ReloadLoaded("sighup")
+			logger.Info("sighup region reloads started", "count", n)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx, cfg.addr, server.ServeOptions{DrainTimeout: cfg.drain}); err != nil {
+		fatal(logger, err)
+	}
+	logger.Info("stmakerd stopped")
 }
 
 // saveModel persists the current model atomically: written to a temp

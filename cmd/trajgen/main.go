@@ -5,8 +5,13 @@
 // Usage:
 //
 //	trajgen [-rows 10] [-cols 10] [-train 400] [-test 100] [-seed 1] [-out .]
+//	        [-origin lat,lng]
 //
-// It writes world.json, train.json and test.json into the -out directory.
+// It writes world.json, train.json and test.json into the -out
+// directory. -origin anchors the city's south-west corner (default
+// central Beijing) — generate at distinct origins to build
+// non-overlapping regions for stmakerd's multi-region mode
+// (docs/MULTI_REGION.md).
 package main
 
 import (
@@ -14,7 +19,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
+	"stmaker/internal/geo"
 	"stmaker/internal/hits"
 	"stmaker/internal/simulate"
 	"stmaker/internal/traj"
@@ -23,16 +31,21 @@ import (
 
 func main() {
 	var (
-		rows  = flag.Int("rows", 10, "city grid rows")
-		cols  = flag.Int("cols", 10, "city grid columns")
-		train = flag.Int("train", 400, "training trips (calm traffic)")
-		test  = flag.Int("test", 100, "test trips (live traffic with anomalies)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("out", ".", "output directory")
+		rows   = flag.Int("rows", 10, "city grid rows")
+		cols   = flag.Int("cols", 10, "city grid columns")
+		train  = flag.Int("train", 400, "training trips (calm traffic)")
+		test   = flag.Int("test", 100, "test trips (live traffic with anomalies)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", ".", "output directory")
+		origin = flag.String("origin", "", "city south-west corner as lat,lng (default central Beijing)")
 	)
 	flag.Parse()
 
-	city := simulate.NewCity(simulate.CityOptions{Rows: *rows, Cols: *cols, Seed: *seed})
+	originPt, err := parseOrigin(*origin)
+	if err != nil {
+		fatal(err)
+	}
+	city := simulate.NewCity(simulate.CityOptions{Rows: *rows, Cols: *cols, Seed: *seed, Origin: originPt})
 	visits := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: *seed + 1})
 	city.Landmarks.InferSignificance(200, visits, hits.Options{})
 
@@ -83,6 +96,32 @@ func writeTrips(path string, fleet []*simulate.Trip) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parseOrigin parses "-origin lat,lng" into a geo.Point. Empty input
+// returns the zero point, which NewCity replaces with its default
+// (central Beijing).
+func parseOrigin(s string) (geo.Point, error) {
+	if s == "" {
+		return geo.Point{}, nil
+	}
+	lat, lng, ok := strings.Cut(s, ",")
+	if !ok {
+		return geo.Point{}, fmt.Errorf("invalid -origin %q: want lat,lng", s)
+	}
+	latF, err := strconv.ParseFloat(strings.TrimSpace(lat), 64)
+	if err != nil {
+		return geo.Point{}, fmt.Errorf("invalid -origin latitude %q: %v", lat, err)
+	}
+	lngF, err := strconv.ParseFloat(strings.TrimSpace(lng), 64)
+	if err != nil {
+		return geo.Point{}, fmt.Errorf("invalid -origin longitude %q: %v", lng, err)
+	}
+	p := geo.Point{Lat: latF, Lng: lngF}
+	if !p.Valid() {
+		return geo.Point{}, fmt.Errorf("invalid -origin %v: out of range", p)
+	}
+	return p, nil
 }
 
 func fatal(err error) {

@@ -2,6 +2,7 @@ package modelio
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -52,6 +53,47 @@ func FuzzReadModel(f *testing.F) {
 		}
 		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
 			t.Fatal("re-encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzParseManifest hammers the region-manifest parser: arbitrary bytes
+// must yield either a fully-validated manifest or an error wrapping
+// ErrInvalidManifest, never a panic. Accepted manifests must satisfy
+// every invariant the registry relies on — legal region name, bare file
+// names and a non-degenerate bounding box.
+func FuzzParseManifest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"region":"beijing"}`))
+	f.Add([]byte(`{"region":"sh-2","world":"w.json","model":"m.stm","bbox":{"minLat":31.0,"minLng":121.0,"maxLat":31.5,"maxLng":121.9}}`))
+	f.Add([]byte(`{"bbox":{"minLat":90,"minLng":0,"maxLat":-90,"maxLng":0}}`))
+	f.Add([]byte(`{"region":"../evil"}`))
+	f.Add([]byte(`{"model":"../../etc/passwd"}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidManifest) {
+				t.Fatalf("rejection not classified as ErrInvalidManifest: %v", err)
+			}
+			return
+		}
+		if m.Region != "" && !ValidRegionName(m.Region) {
+			t.Fatalf("accepted illegal region name %q", m.Region)
+		}
+		for _, name := range []string{m.World, m.Model} {
+			if err := validateFileName(name); err != nil {
+				t.Fatalf("accepted illegal file name %q", name)
+			}
+		}
+		if m.BBox != nil {
+			if err := m.BBox.validate(); err != nil {
+				t.Fatalf("accepted invalid bbox: %v", err)
+			}
+			clat, clng := m.BBox.Center()
+			if !m.BBox.Contains(clat, clng) {
+				t.Fatal("bbox does not contain its own center")
+			}
 		}
 	})
 }

@@ -1,0 +1,170 @@
+// Region manifests: the sidecar metadata that turns a directory of
+// model files into a routable multi-region fleet. A -model-dir region
+// directory may carry a region.json describing the region's name, its
+// world/model file names and an optional bounding box used for spatial
+// request routing (see internal/registry and docs/MULTI_REGION.md).
+//
+// Like the model codec, the parser treats its input as untrusted: the
+// file crosses machine boundaries and is often hand-written, so every
+// field is validated — unknown keys, path traversal in file names,
+// out-of-range or inverted bounding boxes all fail with an error
+// wrapping ErrInvalidManifest, never a panic.
+package modelio
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+)
+
+// Names every region directory is interpreted with when region.json is
+// absent or leaves a field empty.
+const (
+	// ManifestFile is the per-region sidecar manifest file name.
+	ManifestFile = "region.json"
+	// DefaultWorldFile is the region's road-network + landmark file
+	// (the cmd/trajgen output name).
+	DefaultWorldFile = "world.json"
+	// DefaultModelFile is the region's trained model file (the
+	// conventional -save-model name).
+	DefaultModelFile = "model.stm"
+)
+
+// maxManifestBytes caps manifest input: a manifest is a handful of
+// fields, so anything past this is not one.
+const maxManifestBytes = 1 << 20
+
+// ErrInvalidManifest marks any structural failure of a region manifest:
+// malformed JSON, unknown fields, an illegal region name, a file name
+// that escapes the region directory, or a degenerate bounding box.
+var ErrInvalidManifest = errors.New("modelio: invalid region manifest")
+
+// regionNameRE is the legal shape of a region name: it doubles as a
+// directory name and a metrics/URL token, so it stays lowercase
+// alphanumeric with inner dashes/underscores.
+var regionNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]*$`)
+
+// maxRegionNameLen bounds region names; they appear in every log line
+// and metric snapshot.
+const maxRegionNameLen = 64
+
+// ValidRegionName reports whether name is a legal region key:
+// lowercase alphanumeric with inner '-'/'_', at most 64 characters.
+func ValidRegionName(name string) bool {
+	return len(name) <= maxRegionNameLen && regionNameRE.MatchString(name)
+}
+
+// BBox is a geographic bounding box in degrees, min corner to max
+// corner. Regions that declare one become spatially routable: a request
+// without an explicit region key is routed to the region whose box
+// contains the trajectory's first fix.
+type BBox struct {
+	MinLat float64 `json:"minLat"`
+	MinLng float64 `json:"minLng"`
+	MaxLat float64 `json:"maxLat"`
+	MaxLng float64 `json:"maxLng"`
+}
+
+// Contains reports whether the point (lat, lng) lies inside the box,
+// borders included.
+func (b BBox) Contains(lat, lng float64) bool {
+	return lat >= b.MinLat && lat <= b.MaxLat && lng >= b.MinLng && lng <= b.MaxLng
+}
+
+// Center returns the box's midpoint as (lat, lng).
+func (b BBox) Center() (lat, lng float64) {
+	return (b.MinLat + b.MaxLat) / 2, (b.MinLng + b.MaxLng) / 2
+}
+
+// validate checks the box is finite, in range and non-degenerate.
+func (b BBox) validate() error {
+	for _, v := range []float64{b.MinLat, b.MinLng, b.MaxLat, b.MaxLng} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: bbox coordinate is not finite", ErrInvalidManifest)
+		}
+	}
+	if b.MinLat < -90 || b.MaxLat > 90 {
+		return fmt.Errorf("%w: bbox latitude outside [-90, 90]", ErrInvalidManifest)
+	}
+	if b.MinLng < -180 || b.MaxLng > 180 {
+		return fmt.Errorf("%w: bbox longitude outside [-180, 180]", ErrInvalidManifest)
+	}
+	if b.MinLat >= b.MaxLat || b.MinLng >= b.MaxLng {
+		return fmt.Errorf("%w: bbox is empty (min corner must be strictly south-west of max)", ErrInvalidManifest)
+	}
+	return nil
+}
+
+// Manifest is one region's sidecar metadata (region.json). Every field
+// is optional: the region name defaults to the directory name, the file
+// names to DefaultWorldFile/DefaultModelFile, and a region without a
+// BBox is reachable only by explicit region key.
+type Manifest struct {
+	// Region is the region's name. When set it must equal the directory
+	// name it lives in (the registry enforces this), preventing two
+	// directories from claiming the same key.
+	Region string `json:"region,omitempty"`
+	// World and Model name the region's world and model files, relative
+	// to the region directory; bare file names only.
+	World string `json:"world,omitempty"`
+	Model string `json:"model,omitempty"`
+	// BBox, when non-nil, makes the region spatially routable.
+	BBox *BBox `json:"bbox,omitempty"`
+}
+
+// ParseManifest decodes and validates a region.json. The input is
+// untrusted: unknown fields, oversized input, illegal names, path
+// components in file names and malformed bounding boxes all return an
+// error wrapping ErrInvalidManifest. Missing file names are filled with
+// the defaults, so a returned manifest is ready to use.
+func ParseManifest(data []byte) (*Manifest, error) {
+	if len(data) > maxManifestBytes {
+		return nil, fmt.Errorf("%w: %d bytes exceeds limit", ErrInvalidManifest, len(data))
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidManifest, err)
+	}
+	// A manifest is one JSON object; trailing content means the file is
+	// not what it claims to be.
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after manifest object", ErrInvalidManifest)
+	}
+	if m.Region != "" && !ValidRegionName(m.Region) {
+		return nil, fmt.Errorf("%w: region name %q (want lowercase alphanumeric with inner '-'/'_', at most %d chars)",
+			ErrInvalidManifest, m.Region, maxRegionNameLen)
+	}
+	if m.World == "" {
+		m.World = DefaultWorldFile
+	}
+	if m.Model == "" {
+		m.Model = DefaultModelFile
+	}
+	for _, f := range []string{m.World, m.Model} {
+		if err := validateFileName(f); err != nil {
+			return nil, err
+		}
+	}
+	if m.BBox != nil {
+		if err := m.BBox.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &m, nil
+}
+
+// validateFileName accepts only a bare file name: anything with path
+// separators or traversal components could escape the region directory.
+func validateFileName(name string) error {
+	if name == "" || len(name) > maxKeyLen ||
+		strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("%w: file name %q must be a bare file name inside the region directory", ErrInvalidManifest, name)
+	}
+	return nil
+}

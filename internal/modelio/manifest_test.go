@@ -1,0 +1,106 @@
+package modelio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseManifest is the manifest parser's behavioural table: every
+// accepted shape and every rejection class the registry depends on.
+func TestParseManifest(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+		want  *Manifest // nil means parsing must fail with ErrInvalidManifest
+	}{
+		{
+			name:  "empty object fills defaults",
+			input: `{}`,
+			want:  &Manifest{World: DefaultWorldFile, Model: DefaultModelFile},
+		},
+		{
+			name:  "region only",
+			input: `{"region":"beijing"}`,
+			want:  &Manifest{Region: "beijing", World: DefaultWorldFile, Model: DefaultModelFile},
+		},
+		{
+			name:  "all fields",
+			input: `{"region":"sh-2","world":"w.json","model":"m.stm","bbox":{"minLat":31.0,"minLng":121.0,"maxLat":31.5,"maxLng":121.9}}`,
+			want: &Manifest{Region: "sh-2", World: "w.json", Model: "m.stm",
+				BBox: &BBox{MinLat: 31.0, MinLng: 121.0, MaxLat: 31.5, MaxLng: 121.9}},
+		},
+		{name: "not json", input: `not json`},
+		{name: "trailing data", input: `{} {}`},
+		{name: "unknown field", input: `{"regoin":"typo"}`},
+		{name: "uppercase region", input: `{"region":"Beijing"}`},
+		{name: "region leading dash", input: `{"region":"-x"}`},
+		{name: "region with slash", input: `{"region":"a/b"}`},
+		{name: "region too long", input: `{"region":"` + strings.Repeat("a", 65) + `"}`},
+		{name: "world path traversal", input: `{"world":"../world.json"}`},
+		{name: "model absolute path", input: `{"model":"/etc/passwd"}`},
+		{name: "model backslash", input: `{"model":"a\\b"}`},
+		{name: "bbox inverted lat", input: `{"bbox":{"minLat":40,"minLng":116,"maxLat":39,"maxLng":117}}`},
+		{name: "bbox empty", input: `{"bbox":{"minLat":39,"minLng":116,"maxLat":39,"maxLng":116}}`},
+		{name: "bbox lat out of range", input: `{"bbox":{"minLat":-91,"minLng":0,"maxLat":0,"maxLng":1}}`},
+		{name: "bbox lng out of range", input: `{"bbox":{"minLat":0,"minLng":0,"maxLat":1,"maxLng":181}}`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseManifest([]byte(tc.input))
+			if tc.want == nil {
+				if !errors.Is(err, ErrInvalidManifest) {
+					t.Fatalf("ParseManifest(%q) err = %v, want ErrInvalidManifest", tc.input, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseManifest(%q) = %v, want success", tc.input, err)
+			}
+			if got.Region != tc.want.Region || got.World != tc.want.World || got.Model != tc.want.Model {
+				t.Errorf("got %+v, want %+v", got, tc.want)
+			}
+			switch {
+			case (got.BBox == nil) != (tc.want.BBox == nil):
+				t.Errorf("bbox presence: got %v, want %v", got.BBox, tc.want.BBox)
+			case got.BBox != nil && *got.BBox != *tc.want.BBox:
+				t.Errorf("bbox: got %+v, want %+v", *got.BBox, *tc.want.BBox)
+			}
+		})
+	}
+}
+
+func TestParseManifestSizeLimit(t *testing.T) {
+	huge := append([]byte(`{"region":"a`), bytes.Repeat([]byte{'a'}, maxManifestBytes)...)
+	if _, err := ParseManifest(huge); !errors.Is(err, ErrInvalidManifest) {
+		t.Errorf("oversized manifest err = %v, want ErrInvalidManifest", err)
+	}
+}
+
+func TestBBoxContainsAndCenter(t *testing.T) {
+	b := BBox{MinLat: 39.8, MinLng: 116.2, MaxLat: 40.0, MaxLng: 116.6}
+	lat, lng := b.Center()
+	if !b.Contains(lat, lng) {
+		t.Error("bbox does not contain its center")
+	}
+	if !b.Contains(39.8, 116.2) || !b.Contains(40.0, 116.6) {
+		t.Error("bbox borders must be inclusive")
+	}
+	if b.Contains(39.79, 116.4) || b.Contains(39.9, 116.61) {
+		t.Error("bbox contains points outside itself")
+	}
+}
+
+func TestValidRegionName(t *testing.T) {
+	for _, ok := range []string{"a", "beijing", "sh-2", "a_b-c9", "0start"} {
+		if !ValidRegionName(ok) {
+			t.Errorf("ValidRegionName(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "-a", "_a", "A", "a b", "a.b", "a/b", strings.Repeat("x", 65)} {
+		if ValidRegionName(bad) {
+			t.Errorf("ValidRegionName(%q) = true, want false", bad)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package registry
+
+import "testing"
+
+// BenchmarkRegistryLookup measures the serving-path cost of resolving a
+// loaded region to its summarizer — the per-request overhead multi-
+// region mode adds on top of single-region serving. It must stay a map
+// lookup plus an atomic load and an LRU stamp: nanoseconds, no locks.
+func BenchmarkRegistryLookup(b *testing.B) {
+	dir, regions := twoRegionDir(b)
+	r, err := Open(dir, Options{Logger: discardLogger()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, reg := range regions {
+		if _, err := r.Summarizer(reg.name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	name := regions[0].name
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Summarizer(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistryResolve measures spatial routing: bounding-box
+// lookup of a trajectory's first fix.
+func BenchmarkRegistryResolve(b *testing.B) {
+	dir, regions := twoRegionDir(b)
+	r, err := Open(dir, Options{Logger: discardLogger()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt := regions[1].trip.Samples[0].Pt
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Resolve(pt); !ok {
+			b.Fatal("no region resolved")
+		}
+	}
+}

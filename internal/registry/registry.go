@@ -1,0 +1,666 @@
+// Package registry turns a directory of per-region model files into one
+// routable serving surface: a keyed map of atomic model cells, each
+// holding an independently trained Summarizer for one geographic region
+// (one city, one road network). It is the piece that lets a single
+// stmakerd process serve N cities — the paper's summarizer is trained
+// per road network, and covering many networks means many models, not
+// one global graph.
+//
+// Each cell preserves the hot-swap semantics of stmaker.Summarizer:
+// readers resolve a region to its summarizer lock-free, a per-region
+// reload publishes a replacement model atomically, and requests in
+// flight on other regions never notice. Models load lazily on first
+// use from a -model-dir layout (see docs/MULTI_REGION.md) and are
+// evicted least-recently-used when a configurable byte budget is
+// exceeded, so a fleet of hundreds of city models can be fronted by a
+// process sized for the hot few.
+//
+// Request routing is by explicit region key, or — for regions whose
+// manifest declares a bounding box — by spatial lookup of a
+// trajectory's first fix via internal/spatial.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stmaker"
+	"stmaker/internal/geo"
+	"stmaker/internal/landmark"
+	"stmaker/internal/metrics"
+	"stmaker/internal/modelio"
+	"stmaker/internal/roadnet"
+	"stmaker/internal/spatial"
+	"stmaker/internal/worldio"
+)
+
+// Metric names recorded by the registry. docs/OBSERVABILITY.md documents
+// each; keep the two in sync. The Metric*Region* series live in each
+// region's own registry (exposed under the region's key in the
+// GET /metrics "regions" map); the Metric*Regions* gauges and the
+// unknown-region counter live in the top-level registry.
+const (
+	// MetricRegionLoads counts completed model loads for the region —
+	// cold loads from disk, not hot-swap reloads.
+	MetricRegionLoads = "region_model_loads_total"
+	// MetricRegionLoadFailures counts failed load or reload attempts for
+	// the region; the region keeps serving its previous model (reload) or
+	// stays unloaded (cold load).
+	MetricRegionLoadFailures = "region_model_load_failures_total"
+	// MetricRegionEvictions counts times the region's model was evicted
+	// to fit the memory budget; the next request pays a cold load.
+	MetricRegionEvictions = "region_model_evictions_total"
+	// MetricRegionLoadSeconds times each cold load from disk (world +
+	// model read, summarizer construction), successful or not.
+	MetricRegionLoadSeconds = "region_model_load_seconds"
+	// MetricRegionsDiscovered is the number of regions found at startup
+	// (a gauge, constant after Open).
+	MetricRegionsDiscovered = "regions_discovered"
+	// MetricRegionsLoaded is the number of regions currently holding a
+	// loaded model (a gauge).
+	MetricRegionsLoaded = "regions_loaded"
+	// MetricRegionsLoadedBytes is the total on-disk size of currently
+	// loaded regions (a gauge) — the quantity the -model-budget eviction
+	// keeps under the configured limit.
+	MetricRegionsLoadedBytes = "regions_loaded_bytes"
+	// MetricUnknownRegionRequests counts lookups of region keys that do
+	// not exist; a growing value means clients are misconfigured.
+	MetricUnknownRegionRequests = "region_requests_unknown_total"
+)
+
+// ErrUnknownRegion is returned when a request names a region the
+// registry has never heard of — no such subdirectory of -model-dir.
+// Servers map it to 404; contrast with a known region whose model fails
+// to load, which is a 5xx-class condition.
+var ErrUnknownRegion = errors.New("registry: unknown region")
+
+// ErrNoRegions is returned by Open when the directory contains no
+// region subdirectories at all.
+var ErrNoRegions = errors.New("registry: no regions found")
+
+// ErrRegionUnavailable wraps load failures that are neither a missing
+// model file nor a corrupt/mismatched one — an unreadable world file, a
+// permissions problem. The region exists and may become servable after
+// an operator fix, so servers map it to 503 rather than 404 or 500.
+var ErrRegionUnavailable = errors.New("registry: region unavailable")
+
+// DefaultRegionName is the implicit region key used by NewStatic, i.e.
+// by single-region servers wrapping one summarizer.
+const DefaultRegionName = "default"
+
+// spatialCellMeters sizes the routing grid. Region centroids are
+// city-scale objects, so a coarse grid keeps the index tiny.
+const spatialCellMeters = 50_000
+
+// NewSummarizerFunc builds a region's Summarizer from its loaded world.
+// The registry passes the region's own metrics registry so each
+// region's pipeline metrics stay separable; implementations must wire
+// it into the Config they build.
+type NewSummarizerFunc func(g *roadnet.Graph, lms *landmark.Set, mx *metrics.Registry) (*stmaker.Summarizer, error)
+
+// Options configures a Registry.
+type Options struct {
+	// Logger receives load/evict/reload lines. Nil uses slog.Default().
+	Logger *slog.Logger
+	// Metrics is the top-level registry for fleet-wide gauges. Nil
+	// creates a private one.
+	Metrics *metrics.Registry
+	// MaxBytes is the memory budget: when the summed on-disk size
+	// (world + model files) of loaded regions exceeds it, least-
+	// recently-used regions are evicted until it fits again. The budget
+	// is soft for a single region — one region larger than the whole
+	// budget still loads (with a warning) because refusing it would make
+	// the region unservable. 0 means unlimited.
+	MaxBytes int64
+	// NewSummarizer builds each region's summarizer; nil uses a plain
+	// stmaker.Config{Graph, Landmarks, Metrics}. cmd/stmakerd passes a
+	// closure carrying its pipeline flags (-no-sanitize, -hmm, ...) so
+	// every region runs the same pipeline configuration.
+	NewSummarizer NewSummarizerFunc
+}
+
+func (o Options) withDefaults() Options {
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	if o.Metrics == nil {
+		o.Metrics = metrics.NewRegistry()
+	}
+	if o.NewSummarizer == nil {
+		o.NewSummarizer = func(g *roadnet.Graph, lms *landmark.Set, mx *metrics.Registry) (*stmaker.Summarizer, error) {
+			return stmaker.New(stmaker.Config{Graph: g, Landmarks: lms, Metrics: mx})
+		}
+	}
+	return o
+}
+
+// cellState is the loaded portion of a cell, swapped in and out as one
+// atomic pointer: a nil state means "not loaded". In-flight requests
+// holding the summarizer keep serving even if the cell is evicted
+// underneath them — the pointer they resolved stays valid.
+type cellState struct {
+	s *stmaker.Summarizer
+	// bytes is the region's on-disk footprint (world + model file), the
+	// cost the memory budget accounts it at.
+	bytes int64
+}
+
+// cell is one region: its discovery-time metadata plus the atomically
+// swapped loaded state. Loads are single-flight per cell (mu); state
+// transitions (load, evict) happen only under the registry's budget
+// lock so byte accounting and the loaded set never diverge.
+type cell struct {
+	name      string
+	dir       string
+	worldFile string
+	modelFile string
+	bbox      *modelio.BBox
+	mx        *metrics.Registry
+
+	// pinned cells (the NewStatic wrapper) are never evicted.
+	pinned bool
+
+	mu        sync.Mutex // serializes loads of this cell
+	state     atomic.Pointer[cellState]
+	lastUse   atomic.Int64 // registry clock tick of last resolve
+	reloading atomic.Bool  // single-flight guard for TriggerReload
+}
+
+// Registry is the keyed map of region cells. Region resolution and
+// summarizer lookup are safe for arbitrary concurrency.
+type Registry struct {
+	cells map[string]*cell
+	names []string // sorted region keys
+	opts  Options
+	mx    *metrics.Registry
+	log   *slog.Logger
+
+	// index maps bounding-box centroids to cells for spatial routing;
+	// spatialNames[i] is the region inserted with id i. maxReach is the
+	// largest centroid-to-corner distance over all boxes: any box
+	// containing a point has its centroid within maxReach of it, so one
+	// Within query is a complete candidate set.
+	index        *spatial.Index
+	spatialNames []string
+	maxReach     float64
+
+	// budgetMu guards the byte accounting and all cellState stores, so
+	// concurrent loads and evictions agree on what is loaded.
+	budgetMu    sync.Mutex
+	loadedBytes int64
+
+	// clock is the LRU tick, bumped on every resolve.
+	clock atomic.Int64
+}
+
+// Open discovers regions under dir and returns a lazy registry: nothing
+// is loaded yet. A subdirectory is a region when it contains a
+// region.json manifest or a world file under the default name; its
+// directory name is its region key and must be a valid region name. A
+// manifest that names a different region than its directory is an
+// error — it would let two directories claim one key.
+func Open(dir string, opts Options) (*Registry, error) {
+	opts = opts.withDefaults()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("registry: reading model dir: %w", err)
+	}
+	r := &Registry{
+		cells: make(map[string]*cell),
+		opts:  opts,
+		mx:    opts.Metrics,
+		log:   opts.Logger,
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		sub := filepath.Join(dir, name)
+		manifestPath := filepath.Join(sub, modelio.ManifestFile)
+		data, err := os.ReadFile(manifestPath)
+		var m *modelio.Manifest
+		switch {
+		case err == nil:
+			m, err = modelio.ParseManifest(data)
+			if err != nil {
+				return nil, fmt.Errorf("registry: region %q: %s: %w", name, modelio.ManifestFile, err)
+			}
+		case errors.Is(err, os.ErrNotExist):
+			// No manifest: the directory is a region iff it carries a
+			// world file under the default name. Anything else (logs,
+			// backups) is skipped.
+			if _, statErr := os.Stat(filepath.Join(sub, modelio.DefaultWorldFile)); statErr != nil {
+				continue
+			}
+			m = &modelio.Manifest{World: modelio.DefaultWorldFile, Model: modelio.DefaultModelFile}
+		default:
+			return nil, fmt.Errorf("registry: region %q: reading %s: %w", name, modelio.ManifestFile, err)
+		}
+		if !modelio.ValidRegionName(name) {
+			return nil, fmt.Errorf("registry: directory %q is not a valid region name", name)
+		}
+		if m.Region != "" && m.Region != name {
+			return nil, fmt.Errorf("registry: directory %q has manifest claiming region %q", name, m.Region)
+		}
+		r.cells[name] = &cell{
+			name:      name,
+			dir:       sub,
+			worldFile: filepath.Join(sub, m.World),
+			modelFile: filepath.Join(sub, m.Model),
+			bbox:      m.BBox,
+			mx:        metrics.NewRegistry(),
+		}
+		r.names = append(r.names, name)
+	}
+	if len(r.cells) == 0 {
+		return nil, fmt.Errorf("%w under %s", ErrNoRegions, dir)
+	}
+	sort.Strings(r.names)
+	r.buildSpatialIndex()
+	discovered := r.mx.Counter(MetricRegionsDiscovered) //nolint:stmaker/metricnames -- regions_discovered is a gauge (set once at startup), so the _total counter suffix does not apply
+	discovered.Add(int64(len(r.cells)))
+	return r, nil
+}
+
+// NewStatic wraps one already-constructed summarizer as a single-region
+// registry under the given name (usually DefaultRegionName) — the
+// backward-compatible path for servers built around a bare -model or an
+// in-process Summarizer. The cell is pinned (never evicted) and carries
+// no byte cost; readiness tracks the summarizer's own Trained state.
+func NewStatic(name string, s *stmaker.Summarizer, opts Options) *Registry {
+	opts = opts.withDefaults()
+	r := &Registry{
+		cells: make(map[string]*cell),
+		names: []string{name},
+		opts:  opts,
+		mx:    opts.Metrics,
+		log:   opts.Logger,
+	}
+	c := &cell{name: name, mx: s.Metrics(), pinned: true}
+	c.state.Store(&cellState{s: s})
+	r.cells[name] = c
+	discovered := r.mx.Counter(MetricRegionsDiscovered) //nolint:stmaker/metricnames -- regions_discovered is a gauge (set once at startup), so the _total counter suffix does not apply
+	discovered.Add(1)
+	return r
+}
+
+// buildSpatialIndex indexes the centroids of bounding-boxed regions for
+// Resolve. Regions without a bbox stay reachable by explicit key only.
+func (r *Registry) buildSpatialIndex() {
+	var refLat float64
+	boxed := 0
+	for _, name := range r.names {
+		if b := r.cells[name].bbox; b != nil {
+			lat, _ := b.Center()
+			refLat = lat
+			boxed++
+		}
+	}
+	if boxed == 0 {
+		return
+	}
+	r.index = spatial.NewIndex(spatialCellMeters, refLat)
+	for _, name := range r.names {
+		b := r.cells[name].bbox
+		if b == nil {
+			continue
+		}
+		clat, clng := b.Center()
+		center := geo.Point{Lat: clat, Lng: clng}
+		// The farthest point of a box from its centroid is a corner.
+		reach := geo.Distance(center, geo.Point{Lat: b.MaxLat, Lng: b.MaxLng})
+		if d := geo.Distance(center, geo.Point{Lat: b.MinLat, Lng: b.MinLng}); d > reach {
+			reach = d
+		}
+		if reach > r.maxReach {
+			r.maxReach = reach
+		}
+		r.index.Insert(len(r.spatialNames), center)
+		r.spatialNames = append(r.spatialNames, name)
+	}
+}
+
+// Names returns the sorted region keys.
+func (r *Registry) Names() []string { return append([]string(nil), r.names...) }
+
+// Multi reports whether the registry holds more than one region.
+func (r *Registry) Multi() bool { return len(r.cells) > 1 }
+
+// DefaultRegion returns the implicit region for requests that carry no
+// region key: the sole region when there is exactly one, "" otherwise —
+// a multi-region fleet has no safe default, requests must route by key
+// or by geometry.
+func (r *Registry) DefaultRegion() string {
+	if len(r.names) == 1 {
+		return r.names[0]
+	}
+	return ""
+}
+
+// Metrics exposes the top-level (fleet-wide) registry.
+func (r *Registry) Metrics() *metrics.Registry { return r.mx }
+
+// RegionSnapshots returns each region's own metrics snapshot, keyed by
+// region — the "regions" map of GET /metrics in multi-region mode.
+func (r *Registry) RegionSnapshots() map[string]metrics.Snapshot {
+	out := make(map[string]metrics.Snapshot, len(r.cells))
+	for name, c := range r.cells {
+		out[name] = c.mx.Snapshot()
+	}
+	return out
+}
+
+// ReadyCount reports how many regions currently hold a trained, serving
+// model. Readiness probes gate on it being at least one.
+func (r *Registry) ReadyCount() int {
+	n := 0
+	for _, c := range r.cells {
+		if st := c.state.Load(); st != nil && st.s.Trained() {
+			n++
+		}
+	}
+	return n
+}
+
+// Loaded reports whether the region currently holds a loaded model.
+func (r *Registry) Loaded(name string) bool {
+	c, ok := r.cells[name]
+	return ok && c.state.Load() != nil
+}
+
+// Resolve routes a point to the region whose bounding box contains it,
+// preferring the region whose centroid is nearest when boxes overlap.
+// It returns false when no indexed region contains the point.
+func (r *Registry) Resolve(p geo.Point) (string, bool) {
+	if r.index == nil {
+		return "", false
+	}
+	for _, hit := range r.index.Within(p, r.maxReach) {
+		name := r.spatialNames[hit.ID]
+		if r.cells[name].bbox.Contains(p.Lat, p.Lng) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Summarizer resolves a region key to its serving summarizer, loading
+// the region's world and model from disk on first use (single-flight
+// per region) and touching its LRU stamp. Error classes are the
+// server's status map: ErrUnknownRegion for a key that does not exist,
+// stmaker.ErrModelNotFound when the region exists but its model file
+// does not, stmaker.ErrInvalidModel / stmaker.ErrModelMismatch for a
+// model file that exists but cannot serve.
+func (r *Registry) Summarizer(name string) (*stmaker.Summarizer, error) {
+	c, ok := r.cells[name]
+	if !ok {
+		r.mx.Counter(MetricUnknownRegionRequests).Inc()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRegion, name)
+	}
+	c.lastUse.Store(r.clock.Add(1))
+	if st := c.state.Load(); st != nil {
+		return st.s, nil
+	}
+	return r.load(c)
+}
+
+// load brings a cell's model into memory. The cell lock makes loads
+// single-flight; the budget lock scopes the state publish and the
+// eviction pass that pays for it.
+func (r *Registry) load(c *cell) (*stmaker.Summarizer, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A concurrent load may have won the race while we queued on the lock.
+	if st := c.state.Load(); st != nil {
+		return st.s, nil
+	}
+	t0 := time.Now()
+	st, err := r.loadFromDisk(c)
+	c.mx.Histogram(MetricRegionLoadSeconds).ObserveSince(t0)
+	if err != nil {
+		c.mx.Counter(MetricRegionLoadFailures).Inc()
+		r.log.Error("region load failed", "region", c.name, "error", err)
+		// Pass the classified sentinels (model missing / corrupt /
+		// mismatched) through for the server's status map; everything
+		// else becomes the retriable ErrRegionUnavailable.
+		if !errors.Is(err, stmaker.ErrModelNotFound) &&
+			!errors.Is(err, stmaker.ErrInvalidModel) &&
+			!errors.Is(err, stmaker.ErrModelMismatch) {
+			err = fmt.Errorf("%w: %v", ErrRegionUnavailable, err)
+		}
+		return nil, fmt.Errorf("registry: region %q: %w", c.name, err)
+	}
+	c.mx.Counter(MetricRegionLoads).Inc()
+
+	r.budgetMu.Lock()
+	c.state.Store(st)
+	r.loadedBytes += st.bytes
+	r.accountLoadedLocked()
+	if max := r.opts.MaxBytes; max > 0 && st.bytes > max {
+		r.log.Warn("region alone exceeds the memory budget; loading anyway",
+			"region", c.name, "bytes", st.bytes, "budget", max)
+	}
+	r.evictLocked(c)
+	r.budgetMu.Unlock()
+
+	r.log.Info("region loaded",
+		"region", c.name,
+		"bytes", st.bytes,
+		"version", st.s.Model().Version(),
+		"duration", time.Since(t0),
+	)
+	return st.s, nil
+}
+
+// loadFromDisk reads the region's world, builds its summarizer and
+// warm-starts it from the model file. No registry locks are held: disk
+// reads and summarizer construction are the slow part and must not
+// block other regions.
+func (r *Registry) loadFromDisk(c *cell) (*cellState, error) {
+	wf, err := os.Open(c.worldFile)
+	if err != nil {
+		return nil, fmt.Errorf("world: %w", err)
+	}
+	worldInfo, statErr := wf.Stat()
+	graph, lms, err := worldio.LoadWorld(wf)
+	wf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("world: %w", err)
+	}
+	if statErr != nil {
+		return nil, fmt.Errorf("world: %w", statErr)
+	}
+	s, err := r.opts.NewSummarizer(graph, lms, c.mx)
+	if err != nil {
+		return nil, err
+	}
+	m, err := stmaker.LoadModelFile(c.modelFile)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.LoadModel(m); err != nil {
+		return nil, err
+	}
+	bytes := worldInfo.Size()
+	if mi, err := os.Stat(c.modelFile); err == nil {
+		bytes += mi.Size()
+	}
+	return &cellState{s: s, bytes: bytes}, nil
+}
+
+// evictLocked evicts least-recently-used unpinned regions (never the
+// just-loaded keep cell) until the loaded set fits the budget. Callers
+// hold budgetMu. Evicted cells only lose their registry reference:
+// requests that already resolved the summarizer finish on it, and the
+// memory goes back when they do.
+func (r *Registry) evictLocked(keep *cell) {
+	max := r.opts.MaxBytes
+	if max <= 0 {
+		return
+	}
+	for r.loadedBytes > max {
+		var victim *cell
+		for _, c := range r.cells {
+			if c == keep || c.pinned || c.state.Load() == nil {
+				continue
+			}
+			if victim == nil || c.lastUse.Load() < victim.lastUse.Load() {
+				victim = c
+			}
+		}
+		if victim == nil {
+			return // nothing evictable: the keep cell alone busts the budget
+		}
+		st := victim.state.Swap(nil)
+		r.loadedBytes -= st.bytes
+		victim.mx.Counter(MetricRegionEvictions).Inc()
+		r.accountLoadedLocked()
+		r.log.Info("region evicted",
+			"region", victim.name, "bytes", st.bytes, "loaded_bytes", r.loadedBytes)
+	}
+}
+
+// accountLoadedLocked refreshes the fleet gauges; callers hold budgetMu.
+func (r *Registry) accountLoadedLocked() {
+	loaded := int64(0)
+	for _, c := range r.cells {
+		if c.state.Load() != nil {
+			loaded++
+		}
+	}
+	g := r.mx.Counter(MetricRegionsLoaded) //nolint:stmaker/metricnames -- regions_loaded is a gauge (set to the loaded-region count), so the _total counter suffix does not apply
+	g.Add(loaded - g.Value())
+	gb := r.mx.Counter(MetricRegionsLoadedBytes) //nolint:stmaker/metricnames -- regions_loaded_bytes is a gauge (set to the loaded byte total), so the _total counter suffix does not apply
+	gb.Add(r.loadedBytes - gb.Value())
+}
+
+// Preload loads the named regions eagerly, so readiness does not wait
+// for the first request. It stops at the first failure.
+func (r *Registry) Preload(names []string) error {
+	for _, name := range names {
+		if _, err := r.Summarizer(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PreloadAny loads regions in key order until one succeeds — the
+// default boot behaviour: prove at least one region servable, leave the
+// rest to lazy loading. It returns the loaded region, or an error
+// joining every region's failure when none loads.
+func (r *Registry) PreloadAny() (string, error) {
+	var errs []error
+	for _, name := range r.names {
+		if _, err := r.Summarizer(name); err == nil {
+			return name, nil
+		} else {
+			errs = append(errs, err)
+		}
+	}
+	return "", errors.Join(errs...)
+}
+
+// TriggerReload starts a background reload of one region's model from
+// its model file — the multi-region analogue of the single-region
+// retrain trigger. Reloads are single-flight per region; a trigger
+// while one is running returns started=false. For a loaded region the
+// new model is hot-swapped into the serving summarizer (in-flight
+// requests on this and every other region are unaffected); a region
+// that is not currently loaded gets a plain cold load. A failed reload
+// is logged and counted in the region's region_model_load_failures_total
+// and the previous model keeps serving.
+func (r *Registry) TriggerReload(name, reason string) (started bool, err error) {
+	c, ok := r.cells[name]
+	if !ok {
+		r.mx.Counter(MetricUnknownRegionRequests).Inc()
+		return false, fmt.Errorf("%w: %q", ErrUnknownRegion, name)
+	}
+	if c.pinned {
+		return false, fmt.Errorf("registry: region %q has no model file to reload from", name)
+	}
+	if !c.reloading.CompareAndSwap(false, true) {
+		r.log.Warn("region reload already in progress, trigger dropped",
+			"region", name, "reason", reason)
+		return false, nil
+	}
+	r.log.Info("region reload starting", "region", name, "reason", reason)
+	go func() {
+		defer c.reloading.Store(false)
+		t0 := time.Now()
+		if err := r.reload(c); err != nil {
+			c.mx.Counter(MetricRegionLoadFailures).Inc()
+			r.log.Error("region reload failed, previous model keeps serving",
+				"region", c.name, "reason", reason, "error", err, "duration", time.Since(t0))
+			return
+		}
+		var version uint64
+		if st := c.state.Load(); st != nil {
+			version = st.s.Model().Version()
+		}
+		r.log.Info("region reload complete",
+			"region", c.name, "reason", reason, "version", version, "duration", time.Since(t0))
+	}()
+	return true, nil
+}
+
+// reload re-reads the region's model file and publishes it. The slow
+// disk read happens outside all locks; the publish is the summarizer's
+// own atomic swap, so the serving path never blocks on a reload.
+func (r *Registry) reload(c *cell) error {
+	st := c.state.Load()
+	if st == nil {
+		_, err := r.load(c)
+		return err
+	}
+	m, err := stmaker.LoadModelFile(c.modelFile)
+	if err != nil {
+		return err
+	}
+	if err := st.s.LoadModel(m); err != nil {
+		return err
+	}
+	// The model file may have grown or shrunk; re-stat the region's files
+	// so the budget tracks reality. A stat failure keeps the old cost.
+	newBytes := st.bytes
+	wi, werr := os.Stat(c.worldFile)
+	mi, merr := os.Stat(c.modelFile)
+	if werr == nil && merr == nil {
+		newBytes = wi.Size() + mi.Size()
+	}
+	r.budgetMu.Lock()
+	// Skip the re-accounting if the cell was evicted (or re-loaded)
+	// between our snapshot and here; whoever changed it owns the books.
+	if c.state.Load() == st {
+		c.state.Store(&cellState{s: st.s, bytes: newBytes})
+		r.loadedBytes += newBytes - st.bytes
+		r.accountLoadedLocked()
+		r.evictLocked(c)
+	}
+	r.budgetMu.Unlock()
+	return nil
+}
+
+// ReloadLoaded triggers a reload of every currently-loaded region — the
+// SIGHUP behaviour in multi-region mode. It returns how many reloads
+// started.
+func (r *Registry) ReloadLoaded(reason string) int {
+	n := 0
+	for _, name := range r.names {
+		if !r.Loaded(name) {
+			continue
+		}
+		if started, err := r.TriggerReload(name, reason); err == nil && started {
+			n++
+		}
+	}
+	return n
+}

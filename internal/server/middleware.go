@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"strings"
 	"time"
+
+	"stmaker/internal/metrics"
 )
 
 // Metric names recorded by the HTTP middleware into the server's
@@ -173,13 +175,35 @@ func (srv *Server) limit(next http.Handler) http.Handler {
 	})
 }
 
-// handleMetrics serves the JSON snapshot of every registered metric —
-// the Summarizer's stage histograms plus the middleware's own request
-// metrics, since both live in the same registry.
+// handleMetrics serves the JSON snapshot of every registered metric. In
+// single-region mode the Summarizer's stage histograms and the
+// middleware's request metrics share one registry, so the snapshot is
+// flat — the wire shape older dashboards scrape. In multi-region mode
+// the top-level counters/histograms carry the fleet-wide series
+// (request traffic, regions_loaded, ...) and a "regions" map adds each
+// region's own snapshot — its pipeline stages, model_version, load and
+// eviction counters — under its region key.
 func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	srv.writeJSON(w, srv.mx.Snapshot())
+	top := srv.mx.Snapshot()
+	if !srv.reg.Multi() {
+		srv.writeJSON(w, top)
+		return
+	}
+	srv.writeJSON(w, multiMetricsResponse{
+		Counters:   top.Counters,
+		Histograms: top.Histograms,
+		Regions:    srv.reg.RegionSnapshots(),
+	})
+}
+
+// multiMetricsResponse is the GET /metrics shape in multi-region mode:
+// the flat single-region fields plus the per-region snapshots.
+type multiMetricsResponse struct {
+	Counters   map[string]int64                     `json:"counters"`
+	Histograms map[string]metrics.HistogramSnapshot `json:"histograms"`
+	Regions    map[string]metrics.Snapshot          `json:"regions"`
 }

@@ -60,18 +60,34 @@ func (srv *Server) TriggerReload(reason string) bool {
 }
 
 // handleReload is POST /admin/reload (mounted only with
-// Options.EnableAdmin): it triggers the same background rebuild as
-// SIGHUP and returns immediately — 202 when a rebuild was started, 409
-// when one is already running, 501 when the server has no retrain
-// source. Progress is observable via model_version / model_swaps_total /
-// model_reload_failures_total on GET /metrics.
+// Options.EnableAdmin): it triggers a background model rebuild and
+// returns immediately — 202 when one was started, 409 when one is
+// already running. In single-region mode it runs the same retrain as
+// SIGHUP (501 when the server has no retrain source); in multi-region
+// mode the mandatory ?region= parameter names the region whose model
+// file is re-read and hot-swapped (400 without it, 404 for an unknown
+// region). Requests in flight — on the named region and on every other
+// — keep serving the models they already resolved. Progress is
+// observable via model_version / model_swaps_total /
+// model_reload_failures_total (single-region) or the per-region series
+// (multi-region) on GET /metrics.
 func (srv *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	if srv.reg.Multi() {
+		srv.handleRegionReload(w, r)
+		return
+	}
 	if srv.opts.Retrain == nil {
 		http.Error(w, "no retrain source configured", http.StatusNotImplemented)
+		return
+	}
+	// A region parameter on a single-region server must still make
+	// sense: anything but the one region it serves is a 404.
+	if q := r.URL.Query().Get("region"); q != "" && q != srv.reg.DefaultRegion() {
+		http.Error(w, fmt.Sprintf("unknown region %q", q), http.StatusNotFound)
 		return
 	}
 	if !srv.TriggerReload("admin") {
@@ -80,4 +96,24 @@ func (srv *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusAccepted)
 	fmt.Fprintln(w, "reload started")
+}
+
+// handleRegionReload is the multi-region arm of POST /admin/reload.
+func (srv *Server) handleRegionReload(w http.ResponseWriter, r *http.Request) {
+	region := r.URL.Query().Get("region")
+	if region == "" {
+		http.Error(w, "region parameter required on a multi-region server", http.StatusBadRequest)
+		return
+	}
+	started, err := srv.reg.TriggerReload(region, "admin")
+	if err != nil {
+		http.Error(w, err.Error(), statusForError(err))
+		return
+	}
+	if !started {
+		http.Error(w, "reload already in progress", http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, "reload of region %q started\n", region)
 }

@@ -32,6 +32,7 @@ import (
 
 	"stmaker"
 	"stmaker/internal/metrics"
+	"stmaker/internal/registry"
 	"stmaker/internal/traj"
 )
 
@@ -41,10 +42,16 @@ import (
 // gigabytes in memory.
 const DefaultMaxBodyBytes int64 = 4 << 20
 
-// Server handles summarization requests against one trained Summarizer.
-// It is safe for concurrent use.
+// Server handles summarization requests against a region registry — a
+// single wrapped Summarizer in the classic single-region mode, or N
+// lazily-loaded regional models in multi-region (-model-dir) mode. It
+// is safe for concurrent use.
 type Server struct {
-	s       *stmaker.Summarizer
+	// s is the wrapped summarizer in single-region mode; nil in
+	// multi-region mode, where every summarizer comes from reg.
+	s   *stmaker.Summarizer
+	reg *registry.Registry
+
 	mux     *http.ServeMux
 	handler http.Handler
 	mx      *metrics.Registry
@@ -133,10 +140,36 @@ func NewWithOptions(s *stmaker.Summarizer, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: summarizer is required")
 	}
 	opts = opts.withDefaults()
+	// The summarizer is wrapped as a pinned single-cell registry under
+	// the implicit default region, so the serving path is the same in
+	// both modes and a bare -model deployment stays fully supported.
+	reg := registry.NewStatic(registry.DefaultRegionName, s, registry.Options{
+		Logger:  opts.Logger,
+		Metrics: s.Metrics(),
+	})
+	return newServer(s, reg, opts), nil
+}
+
+// NewMultiRegion builds a server over a multi-region registry (see
+// internal/registry and docs/MULTI_REGION.md): requests route to a
+// region by explicit key or by the spatial index over region bounding
+// boxes, models load lazily, and POST /admin/reload takes a ?region=
+// parameter. Options.Retrain is ignored in this mode — reloads re-read
+// each region's model file instead of retraining.
+func NewMultiRegion(reg *registry.Registry, opts Options) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("server: registry is required")
+	}
+	opts = opts.withDefaults()
+	return newServer(nil, reg, opts), nil
+}
+
+func newServer(s *stmaker.Summarizer, reg *registry.Registry, opts Options) *Server {
 	srv := &Server{
 		s:      s,
+		reg:    reg,
 		mux:    http.NewServeMux(),
-		mx:     s.Metrics(),
+		mx:     reg.Metrics(),
 		logger: opts.Logger,
 		opts:   opts,
 	}
@@ -162,7 +195,7 @@ func NewWithOptions(s *stmaker.Summarizer, opts Options) (*Server, error) {
 	// (including shed 503s and recovered 500s), recover catches panics
 	// from the limiter inward, the limiter sheds before any work starts.
 	srv.handler = srv.observe(srv.recoverPanics(srv.limit(srv.mux)))
-	return srv, nil
+	return srv
 }
 
 // Handle mounts an additional handler behind the server's full middleware
@@ -194,14 +227,22 @@ type SummarizeRequest struct {
 	// K is the partition count; 0 (default) uses the optimal partition.
 	// It may also be supplied as the ?k= query parameter.
 	K int `json:"k,omitempty"`
+	// Region selects which regional model serves the request in
+	// multi-region mode. It may also be supplied as the ?region= query
+	// parameter (which wins over the body). Empty falls back to the sole
+	// region when only one exists, then to spatial routing by the
+	// trajectory's first sample against region bounding boxes.
+	Region string `json:"region,omitempty"`
 }
 
 // SummarizeResponse is the reply.
 type SummarizeResponse struct {
-	ID    string         `json:"id"`
-	Text  string         `json:"text"`
-	Parts []PartResponse `json:"parts"`
-	Error string         `json:"error,omitempty"`
+	ID   string `json:"id"`
+	Text string `json:"text"`
+	// Region echoes which regional model produced the summary.
+	Region string         `json:"region,omitempty"`
+	Parts  []PartResponse `json:"parts"`
+	Error  string         `json:"error,omitempty"`
 }
 
 // PartResponse is one partition of the summary.
@@ -229,11 +270,13 @@ func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReady is the readiness probe: 200 while serving with a published
-// model, 503 before the first model lands (a warm-starting instance that
-// hasn't finished Train/LoadModel yet) and 503 again once a drain has
-// begun (or SetReady(false) was called), so load balancers only route
-// work here when it can actually be answered.
+// handleReady is the readiness probe: 200 while serving with at least
+// one region holding a published model, 503 before the first model
+// lands (a warm-starting instance that hasn't finished
+// Train/LoadModel, or a multi-region instance that hasn't loaded any
+// region yet) and 503 again once a drain has begun (or SetReady(false)
+// was called), so load balancers only route work here when it can
+// actually be answered.
 func (srv *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
@@ -243,7 +286,7 @@ func (srv *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	if !srv.s.Trained() {
+	if srv.reg.ReadyCount() == 0 {
 		http.Error(w, "no model published yet", http.StatusServiceUnavailable)
 		return
 	}
@@ -251,13 +294,21 @@ func (srv *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// statusForError maps a pipeline error to its HTTP status: deadline and
-// cancellation are a 504 (the server gave up, not the client's data),
-// input-shaped errors (validation, sanitizer rejection, calibration) are
-// a 422, a request arriving before any model is published is a 503 (the
-// readiness probe already says so; retrying elsewhere will succeed), and
-// everything else — partition failures — is a 500, because the client's
-// request was fine.
+// statusForError maps a pipeline or region-resolution error to its HTTP
+// status: deadline and cancellation are a 504 (the server gave up, not
+// the client's data), input-shaped errors (validation, sanitizer
+// rejection, calibration) are a 422, a request arriving before any
+// model is published is a 503 (the readiness probe already says so;
+// retrying elsewhere will succeed), and everything else — partition
+// failures — is a 500, because the client's request was fine.
+//
+// Region-lookup errors extend the map: a region key that does not exist
+// is a 404, as is a known region whose model file is missing (the
+// client asked for something this deployment does not have — 404s are
+// cacheable and do not trip 5xx alerting). A model file that exists but
+// is corrupt or mismatched is a 500 (the deployment is broken, not the
+// request), and any other load failure — an unreadable world file, say
+// — is a 503, since a retry after an operator fix will succeed.
 func statusForError(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -265,6 +316,12 @@ func statusForError(err error) int {
 	case stmaker.IsInputError(err):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, stmaker.ErrNotTrained):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, registry.ErrUnknownRegion), errors.Is(err, stmaker.ErrModelNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, stmaker.ErrInvalidModel), errors.Is(err, stmaker.ErrModelMismatch):
+		return http.StatusInternalServerError
+	case errors.Is(err, registry.ErrRegionUnavailable):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -303,18 +360,26 @@ func (srv *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		}
 		k = parsed
 	}
+	region, s, err := srv.resolveRegion(&req, r)
+	if err != nil {
+		srv.writeError(w, statusForError(err), err.Error())
+		return
+	}
 	ctx := r.Context()
 	if srv.opts.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, srv.opts.RequestTimeout)
 		defer cancel()
 	}
-	sum, err := srv.s.SummarizeKContext(ctx, req.Trajectory, k)
+	sum, err := s.SummarizeKContext(ctx, req.Trajectory, k)
 	if err != nil {
 		srv.writeError(w, statusForError(err), err.Error())
 		return
 	}
 	resp := SummarizeResponse{ID: sum.TrajectoryID, Text: sum.Text}
+	if srv.reg.Multi() {
+		resp.Region = region
+	}
 	for _, p := range sum.Parts {
 		pr := PartResponse{
 			Source: p.SourceName, Dest: p.DestName,
@@ -326,6 +391,40 @@ func (srv *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		resp.Parts = append(resp.Parts, pr)
 	}
 	srv.writeJSON(w, resp)
+}
+
+// resolveRegion picks the regional summarizer serving a request.
+// Precedence: the ?region= query parameter, then the body's region
+// field, then the sole region when the registry holds exactly one
+// (single-region deployments never need a key), then spatial routing of
+// the trajectory's first sample against region bounding boxes. A
+// request that resolves to no region fails with ErrUnknownRegion (404):
+// from the client's point of view "region key that does not exist" and
+// "location no region covers" are the same condition — this deployment
+// does not serve it.
+func (srv *Server) resolveRegion(req *SummarizeRequest, r *http.Request) (string, *stmaker.Summarizer, error) {
+	region := req.Region
+	if q := r.URL.Query().Get("region"); q != "" {
+		region = q
+	}
+	if region == "" {
+		region = srv.reg.DefaultRegion()
+	}
+	if region == "" {
+		if len(req.Trajectory.Samples) == 0 {
+			return "", nil, fmt.Errorf("%w: no region key given and trajectory has no samples to route by",
+				registry.ErrUnknownRegion)
+		}
+		p := req.Trajectory.Samples[0].Pt
+		name, ok := srv.reg.Resolve(p)
+		if !ok {
+			return "", nil, fmt.Errorf("%w: no region key given and no region covers %v",
+				registry.ErrUnknownRegion, p)
+		}
+		region = name
+	}
+	s, err := srv.reg.Summarizer(region)
+	return region, s, err
 }
 
 // writeJSON encodes v as the response body. An encode failure after the

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
+	"os"
 
 	"stmaker/internal/history"
 	"stmaker/internal/modelio"
@@ -21,6 +23,12 @@ var ErrModelMismatch = errors.New("stmaker: model does not match summarizer conf
 // checksum mismatch, truncation, or a payload violating the format's
 // invariants. It is the model-file analogue of ErrInvalidInput.
 var ErrInvalidModel = modelio.ErrInvalidModel
+
+// ErrModelNotFound is returned by LoadModelFile when the model file does
+// not exist. Callers that serve models over HTTP use it to distinguish
+// "no such model" (404) from "model present but unusable" (ErrInvalidModel
+// or ErrModelMismatch, a 500-class failure).
+var ErrModelNotFound = errors.New("stmaker: model file not found")
 
 // Model is an immutable snapshot of everything Train produces (§V): the
 // historical feature map, the popular-route statistics, the feature
@@ -170,6 +178,24 @@ func ReadModelFrom(r io.Reader) (*Model, error) {
 		popular:                 history.BuildPopularFromSequences(data.PopularSeqs),
 		featMap:                 featMap,
 	}, nil
+}
+
+// LoadModelFile reads a model file from disk, classifying failures so
+// callers can map them to distinct responses: a missing file returns an
+// error wrapping ErrModelNotFound, structural corruption wraps
+// ErrInvalidModel (via ReadModelFrom), and anything else (permissions,
+// I/O) is returned as-is. The returned model is not yet attached to any
+// Summarizer — pass it to LoadModel.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %v", ErrModelNotFound, err)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return ReadModelFrom(f)
 }
 
 // Model returns the currently-published knowledge snapshot, or nil before

@@ -3,6 +3,8 @@ package stmaker
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -354,5 +356,77 @@ func TestSaveModelRequiresModel(t *testing.T) {
 	var buf bytes.Buffer
 	if _, err := s.SaveModel(&buf); !errors.Is(err, ErrNotTrained) {
 		t.Errorf("SaveModel untrained err = %v, want ErrNotTrained", err)
+	}
+}
+
+// TestLoadModelFileClassification pins the error taxonomy of the
+// on-disk load path: the server maps "no such model" to 404 and
+// "model present but unusable" to a 500-class response, so the two
+// must stay distinguishable sentinel errors.
+func TestLoadModelFileClassification(t *testing.T) {
+	city, s := newWorld(t, nil)
+	dir := t.TempDir()
+
+	okPath := filepath.Join(dir, "model.stm")
+	var buf bytes.Buffer
+	if _, err := s.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(okPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corruptPath := filepath.Join(dir, "corrupt.stm")
+	if err := os.WriteFile(corruptPath, []byte("not a model file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	truncatedPath := filepath.Join(dir, "truncated.stm")
+	if err := os.WriteFile(truncatedPath, buf.Bytes()[:buf.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name    string
+		path    string
+		wantErr error // nil means the load must succeed
+	}{
+		{"valid model", okPath, nil},
+		{"missing file", filepath.Join(dir, "nope.stm"), ErrModelNotFound},
+		{"corrupt file", corruptPath, ErrInvalidModel},
+		{"truncated file", truncatedPath, ErrInvalidModel},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := LoadModelFile(tc.path)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("LoadModelFile(%q) = %v, want success", tc.path, err)
+				}
+				if m.NumTransitions() != s.Model().NumTransitions() {
+					t.Errorf("loaded transitions %d, want %d", m.NumTransitions(), s.Model().NumTransitions())
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("LoadModelFile(%q) err = %v, want %v", tc.path, err, tc.wantErr)
+			}
+			// The classes must not bleed into each other.
+			if errors.Is(err, ErrModelNotFound) && errors.Is(err, ErrInvalidModel) {
+				t.Fatalf("error %v matches both sentinels", err)
+			}
+		})
+	}
+
+	// A structurally valid file loaded into an incompatible summarizer is
+	// the third failure class: LoadModelFile succeeds, LoadModel refuses.
+	m, err := LoadModelFile(okPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(Config{Graph: city.Graph, Landmarks: city.Landmarks, CalibrationRadiusMeters: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadModel(m); !errors.Is(err, ErrModelMismatch) {
+		t.Errorf("incompatible LoadModel err = %v, want ErrModelMismatch", err)
 	}
 }

@@ -1,5 +1,5 @@
 # Tier-1 gate: every change must keep `make check` green.
-.PHONY: check build vet lint test bench bench-smoke fuzz-smoke
+.PHONY: check build vet lint test bench bench-smoke fuzz-smoke ingest-soak
 
 check: build vet lint test
 
@@ -36,3 +36,12 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzSanitize -fuzztime=15s ./internal/sanitize
 	go test -run='^$$' -fuzz=FuzzReadModel -fuzztime=15s ./internal/modelio
 	go test -run='^$$' -fuzz=FuzzParseManifest -fuzztime=15s ./internal/modelio
+	go test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=15s ./internal/ingest
+	go test -run='^$$' -fuzz=FuzzIngestNDJSON -fuzztime=15s ./internal/server
+
+# End-to-end ingestion soak: a simulated fleet streamed through the real
+# HTTP ingest path with one crash/recovery cycle in the middle, asserting
+# zero acknowledged-fix loss and a working model compaction at the end.
+# See docs/ROBUSTNESS.md "Ingestion durability".
+ingest-soak:
+	go run ./cmd/ingest-soak

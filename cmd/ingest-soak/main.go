@@ -1,0 +1,322 @@
+// Command ingest-soak proves the crash-safety contract of streaming
+// ingestion end to end, over a real TCP listener rather than an
+// in-process handler call:
+//
+//  1. it trains a small simulated region and boots a server with
+//     POST /ingest enabled,
+//  2. streams a simulated taxi fleet through HTTP — one request per
+//     trip, counting only fixes the server acknowledged with a 2xx
+//     (every acknowledgement carries an fsync barrier),
+//  3. crashes the server mid-fleet: the listener dies and the process
+//     abandons the ingestion service without closing it, leaving an
+//     unsealed WAL segment behind exactly as a kill -9 would,
+//  4. recovers a fresh server over the same directories and verifies
+//     zero acknowledged-fix loss against the replay statistics,
+//  5. streams the rest of the fleet, compacts, and verifies the
+//     published model answers /summarize.
+//
+// It exits 0 only when every invariant holds; `make ingest-soak` runs
+// it in CI. See docs/ROBUSTNESS.md, "Ingestion durability".
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"stmaker"
+	"stmaker/internal/geo"
+	"stmaker/internal/hits"
+	"stmaker/internal/ingest"
+	"stmaker/internal/registry"
+	"stmaker/internal/server"
+	"stmaker/internal/simulate"
+	"stmaker/internal/traj"
+	"stmaker/internal/worldio"
+)
+
+const region = "soak"
+
+func main() {
+	var (
+		trips   = flag.Int("trips", 48, "fleet size streamed through /ingest")
+		keep    = flag.Bool("keep", false, "keep the work directory for inspection")
+		verbose = flag.Bool("v", false, "log at info level instead of warn")
+	)
+	flag.Parse()
+
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	root, err := os.MkdirTemp("", "ingest-soak-*")
+	if err != nil {
+		fatal("work dir: %v", err)
+	}
+	if !*keep {
+		defer os.RemoveAll(root)
+	} else {
+		fmt.Printf("work dir: %s\n", root)
+	}
+	if err := run(logger, root, *trips); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println("ingest-soak: all invariants held")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ingest-soak: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func run(logger *slog.Logger, root string, numTrips int) error {
+	modelDir := filepath.Join(root, "models")
+	ingestDir := filepath.Join(root, "ingest")
+
+	city, err := writeRegion(modelDir)
+	if err != nil {
+		return fmt.Errorf("build region fixture: %w", err)
+	}
+	fleet := simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: numTrips, Seed: 7, FixedHour: -1, SampleInterval: 10 * time.Second,
+	})
+	if len(fleet) < 8 {
+		return fmt.Errorf("fleet too small: %d trips", len(fleet))
+	}
+
+	// Phase 1: stream the first half of the fleet, finishing every trip
+	// except the last, which is left open mid-trip — the crash must not
+	// lose it.
+	srv1, err := newServer(logger, modelDir, ingestDir)
+	if err != nil {
+		return fmt.Errorf("boot server: %w", err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	half := len(fleet) / 2
+	var ackedFixes, ackedCloses int
+	for i, tr := range fleet[:half] {
+		open := i == half-1 // leave the last phase-1 trip unfinished
+		fixes, closes, err := streamTrip(ts1.URL, tr.Raw, open)
+		if err != nil {
+			return fmt.Errorf("phase 1 trip %d: %w", i, err)
+		}
+		ackedFixes += fixes
+		ackedCloses += closes
+	}
+	if ackedFixes == 0 {
+		return fmt.Errorf("phase 1 acknowledged no fixes")
+	}
+
+	// Crash: kill the listener and abandon the ingestion service without
+	// Close — the active WAL segment stays unsealed on disk, like a
+	// kill -9. Every acknowledged fix is already fsynced.
+	ts1.CloseClientConnections()
+	ts1.Close()
+	logger.Info("crashed mid-fleet", "acked_fixes", ackedFixes, "acked_closes", ackedCloses)
+
+	// Phase 2: recover over the same directories.
+	srv2, err := newServer(logger, modelDir, ingestDir)
+	if err != nil {
+		return fmt.Errorf("recovery boot: %w", err)
+	}
+	svc := srv2.Ingest()
+	ing, err := svc.Ingester(region)
+	if err != nil {
+		return fmt.Errorf("recovered ingester: %w", err)
+	}
+	st := ing.Stats()
+	logger.Info("recovered", "replay_records", st.Replay.Records,
+		"skipped", st.Replay.SkippedEvents, "open_trips", st.OpenTrips,
+		"trips_folded", st.TripsFolded)
+
+	// The zero-acknowledged-loss invariant: every fix and close the
+	// server acknowledged before the crash is present in the replay.
+	if got, want := st.Replay.Records, ackedFixes+ackedCloses; got < want {
+		return fmt.Errorf("replay recovered %d records, %d were acknowledged before the crash", got, want)
+	}
+	if st.Replay.SkippedEvents != 0 {
+		return fmt.Errorf("replay skipped %d events; a graceful listener kill must not tear the log", st.Replay.SkippedEvents)
+	}
+	if st.OpenTrips == 0 {
+		return fmt.Errorf("the trip left open at crash time did not survive replay")
+	}
+	if st.TripsFolded < ackedCloses {
+		return fmt.Errorf("replay folded %d trips, %d closes were acknowledged", st.TripsFolded, ackedCloses)
+	}
+
+	// Stream the rest of the fleet against the recovered server and
+	// compact: the accumulated trips must publish as a servable model.
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	for i, tr := range fleet[half:] {
+		fixes, closes, err := streamTrip(ts2.URL, tr.Raw, false)
+		if err != nil {
+			return fmt.Errorf("phase 2 trip %d: %w", i, err)
+		}
+		ackedFixes += fixes
+		ackedCloses += closes
+	}
+	if err := svc.CompactAll(); err != nil {
+		return fmt.Errorf("compaction: %w", err)
+	}
+	st = ing.Stats()
+	if st.CheckpointSeq == 0 {
+		return fmt.Errorf("compaction did not advance the checkpoint")
+	}
+
+	// The published model serves: summarize one ingested trip over HTTP.
+	if err := summarize(ts2.URL, fleet[0].Raw); err != nil {
+		return fmt.Errorf("summarize after compaction: %w", err)
+	}
+	if err := svc.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	fmt.Printf("streamed %d trips (%d fixes, %d closes), 1 crash/recovery, %d trips folded, checkpoint seq %d\n",
+		len(fleet), ackedFixes, ackedCloses, st.TripsFolded, st.CheckpointSeq)
+	return nil
+}
+
+// writeRegion trains a small city and lays it down as modelDir/soak/
+// with world, model and manifest — the multi-region on-disk layout.
+func writeRegion(modelDir string) (*simulate.City, error) {
+	city := simulate.NewCity(simulate.CityOptions{
+		Rows: 6, Cols: 6, BlockMeters: 500,
+		Origin: geo.Point{Lat: 39.80, Lng: 116.25}, Seed: 11,
+	})
+	checkins := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 12})
+	city.Landmarks.InferSignificance(200, checkins, hits.Options{})
+	s, err := stmaker.New(stmaker.Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		return nil, err
+	}
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: 80, Seed: 13, FixedHour: -1, Calm: true,
+	})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		return nil, err
+	}
+	sub := filepath.Join(modelDir, region)
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return nil, err
+	}
+	wf, err := os.Create(filepath.Join(sub, "world.json"))
+	if err != nil {
+		return nil, err
+	}
+	if err := worldio.SaveWorld(wf, city.Graph, city.Landmarks); err != nil {
+		wf.Close()
+		return nil, err
+	}
+	if err := wf.Close(); err != nil {
+		return nil, err
+	}
+	mf, err := os.Create(filepath.Join(sub, "model.stm"))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.SaveModel(mf); err != nil {
+		mf.Close()
+		return nil, err
+	}
+	return city, mf.Close()
+}
+
+// newServer boots a multi-region server over the fixture with ingestion
+// enabled. Compaction is manual (CompactAll) so the soak controls when
+// it happens.
+func newServer(logger *slog.Logger, modelDir, ingestDir string) (*server.Server, error) {
+	reg, err := registry.Open(modelDir, registry.Options{Logger: logger})
+	if err != nil {
+		return nil, err
+	}
+	return server.NewMultiRegion(reg, server.Options{
+		Logger: logger,
+		Ingest: &ingest.ServiceOptions{
+			Dir:             ingestDir,
+			CompactInterval: time.Hour,
+			Logger:          logger,
+		},
+	})
+}
+
+// streamTrip POSTs one trip as an NDJSON stream — every fix, then an
+// end-of-trip line unless leaveOpen — and returns the acknowledged
+// counts from the response.
+func streamTrip(baseURL string, raw *traj.Raw, leaveOpen bool) (fixes, closes int, err error) {
+	samples := raw.Samples
+	if leaveOpen {
+		samples = samples[:len(samples)/2+1]
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, s := range samples {
+		line := map[string]any{
+			"trip": raw.ID, "object": raw.Object,
+			"lat": s.Pt.Lat, "lng": s.Pt.Lng, "t": s.T,
+		}
+		if err := enc.Encode(line); err != nil {
+			return 0, 0, err
+		}
+	}
+	if !leaveOpen {
+		if err := enc.Encode(map[string]any{"trip": raw.ID, "end": true}); err != nil {
+			return 0, 0, err
+		}
+	}
+	resp, err := http.Post(baseURL+"/ingest?region="+region, "application/x-ndjson", &buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var ir server.IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		return 0, 0, fmt.Errorf("decode response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("status %d: %s", resp.StatusCode, ir.Error)
+	}
+	if ir.Accepted != len(samples) {
+		return 0, 0, fmt.Errorf("accepted %d of %d fixes", ir.Accepted, len(samples))
+	}
+	return ir.Accepted, ir.Closed, nil
+}
+
+// summarize POSTs one trajectory to /summarize and demands a 200 with a
+// non-empty summary.
+func summarize(baseURL string, raw *traj.Raw) error {
+	body, err := json.Marshal(server.SummarizeRequest{Trajectory: raw})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(baseURL+"/summarize?region="+region, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	var sr server.SummarizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return err
+	}
+	if sr.Text == "" {
+		return fmt.Errorf("empty summary")
+	}
+	return nil
+}

@@ -11,6 +11,7 @@
 //	         [-model model.stm] [-save-model model.stm] [-admin]
 //	         [-log text|json] [-max-body N] [-max-inflight N]
 //	         [-timeout D] [-drain D] [-no-sanitize] [-hmm] [-sp-cache N]
+//	         [-ingest-dir wal/ [-ingest-buffer N] [-ingest-compact D]]
 //
 //	stmakerd -model-dir models/ [-model-budget N] [-preload auto|none|all|r1,r2]
 //	         [same serving flags as above]
@@ -19,8 +20,9 @@
 // for the failure-mode contract):
 //
 //	POST /summarize[?k=N][&region=R]  {"trajectory": {...traj.Raw JSON...}, "k": N, "region": "R"}
+//	POST /ingest[?region=R]           NDJSON stream of GPS fixes (only with -ingest-dir)
 //	GET  /healthz          liveness probe
-//	GET  /readyz           readiness probe (503 while draining or model-less)
+//	GET  /readyz           readiness probe (503 while draining or model-less; ?verbose=1 for per-region JSON)
 //	GET  /metrics          JSON snapshot of stage + request metrics
 //	POST /admin/reload[?region=R]  trigger a live reload (only with -admin)
 //	GET  /debug/pprof/*    Go profiling handlers (only with -pprof)
@@ -62,6 +64,7 @@ import (
 	"time"
 
 	"stmaker"
+	"stmaker/internal/ingest"
 	"stmaker/internal/landmark"
 	"stmaker/internal/metrics"
 	"stmaker/internal/registry"
@@ -91,6 +94,10 @@ func main() {
 		modelDir    = flag.String("model-dir", "", "serve every region under this directory (multi-region mode)")
 		modelBudget = flag.Int64("model-budget", 0, "memory budget in bytes for loaded region models (LRU eviction beyond; 0 unlimited)")
 		preload     = flag.String("preload", "auto", "regions to load at boot: auto (first loadable), none, all, or a comma-separated list")
+
+		ingestDir     = flag.String("ingest-dir", "", "enable POST /ingest: per-region WAL directory for crash-safe streaming ingestion")
+		ingestBuffer  = flag.Int("ingest-buffer", 0, "max buffered open-trip fixes per region before ingest sheds with 429 (0 default)")
+		ingestCompact = flag.Duration("ingest-compact", time.Minute, "interval between incremental model compactions of ingested trips")
 	)
 	flag.Parse()
 
@@ -121,11 +128,32 @@ func main() {
 	logger := slog.New(handler)
 	slog.SetDefault(logger)
 
+	// -ingest-dir mounts POST /ingest backed by a per-region write-ahead
+	// log under the directory; replay recovery and periodic compaction are
+	// handled by the ingest service the server constructs from these
+	// options (see docs/ROBUSTNESS.md, "Ingestion durability").
+	var ingestOpts *ingest.ServiceOptions
+	if *ingestDir != "" {
+		ingestOpts = &ingest.ServiceOptions{
+			Dir:             *ingestDir,
+			CompactInterval: *ingestCompact,
+			BufferFixes:     *ingestBuffer,
+			Logger:          logger,
+		}
+		if *noSanitize {
+			// Match -no-sanitize's meaning for the ingest path: keep the
+			// structural repairs (invalid samples would fail calibration)
+			// but switch the heuristic ones off.
+			ingestOpts.Sanitize = sanitize.Options{MaxSpeedKmh: -1, JitterEpsilonMeters: -1}
+		}
+	}
+
 	if *modelDir != "" {
 		serveMultiRegion(logger, multiConfig{
 			dir:         *modelDir,
 			budget:      *modelBudget,
 			preload:     *preload,
+			ingest:      ingestOpts,
 			admin:       *adminOn,
 			addr:        *addr,
 			pprof:       *pprofOn,
@@ -232,6 +260,7 @@ func main() {
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *timeout,
 		Retrain:        retrain,
+		Ingest:         ingestOpts,
 	})
 	if err != nil {
 		fatal(logger, err)
@@ -261,6 +290,10 @@ func main() {
 	// drains in-flight requests for up to -drain, and returns.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if svc := srv.Ingest(); svc != nil {
+		go svc.Run(ctx)
+		defer closeIngest(logger, svc)
+	}
 	if err := srv.ListenAndServe(ctx, *addr, server.ServeOptions{DrainTimeout: *drain}); err != nil {
 		fatal(logger, err)
 	}
@@ -272,6 +305,7 @@ type multiConfig struct {
 	dir         string
 	budget      int64
 	preload     string
+	ingest      *ingest.ServiceOptions
 	admin       bool
 	addr        string
 	pprof       bool
@@ -340,6 +374,7 @@ func serveMultiRegion(logger *slog.Logger, cfg multiConfig) {
 		MaxBodyBytes:   cfg.maxBody,
 		MaxInFlight:    cfg.maxInflight,
 		RequestTimeout: cfg.timeout,
+		Ingest:         cfg.ingest,
 	})
 	if err != nil {
 		fatal(logger, err)
@@ -369,10 +404,22 @@ func serveMultiRegion(logger *slog.Logger, cfg multiConfig) {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if svc := srv.Ingest(); svc != nil {
+		go svc.Run(ctx)
+		defer closeIngest(logger, svc)
+	}
 	if err := srv.ListenAndServe(ctx, cfg.addr, server.ServeOptions{DrainTimeout: cfg.drain}); err != nil {
 		fatal(logger, err)
 	}
 	logger.Info("stmakerd stopped")
+}
+
+// closeIngest seals every region's WAL after the listener has drained;
+// buffered open trips are rebuilt by the next boot's replay.
+func closeIngest(logger *slog.Logger, svc *ingest.Service) {
+	if err := svc.Close(); err != nil {
+		logger.Warn("ingest close failed", "error", err)
+	}
 }
 
 // saveModel persists the current model atomically: written to a temp

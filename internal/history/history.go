@@ -491,6 +491,36 @@ func (m *FeatureMap) AddAggregate(a, b int, n int, sums []float64, cats []map[fl
 	return nil
 }
 
+// Clone returns a deep copy of the map: mutating either copy afterwards
+// (Add, AddAggregate) never disturbs the other. It is the freeze step of
+// incremental ingestion — the live cumulative map keeps absorbing trips
+// while a clone of it is built into an immutable published Model.
+func (m *FeatureMap) Clone() *FeatureMap {
+	out := NewFeatureMap(m.dims)
+	copy(out.categorical, m.categorical)
+	for key, s := range m.sums {
+		out.sums[key] = append([]float64(nil), s...)
+	}
+	for key, cats := range m.catCounts {
+		cc := make([]map[float64]int, m.dims)
+		for j, counts := range cats {
+			if counts == nil {
+				continue
+			}
+			c2 := make(map[float64]int, len(counts))
+			for v, c := range counts {
+				c2[v] = c
+			}
+			cc[j] = c2
+		}
+		out.catCounts[key] = cc
+	}
+	for key, n := range m.n {
+		out.n[key] = n
+	}
+	return out
+}
+
 // GlobalMean returns the corpus-wide regular value of every feature — the
 // mean for numeric dimensions and the mode for categorical ones. It is
 // the substitution value for transitions the corpus never travelled, and

@@ -1,0 +1,203 @@
+package ingest
+
+import (
+	"testing"
+)
+
+// ackState is what the client knows at the last successful Sync: the
+// durability barrier the crash-safety contract is stated against.
+type ackState struct {
+	seq   uint64
+	stats Stats
+}
+
+// crashWorkload is the deterministic script every crash scenario runs:
+// two trips ingested and closed with an acknowledgement barrier after
+// each, a compaction, then a third trip left open mid-stream with a
+// final barrier. Small segments force rolls throughout. Errors are
+// ignored — after the injected kill every write fails, exactly like a
+// dead process — and the last successful Sync's state is returned.
+func crashWorkload(t *testing.T, ing *Ingester) ackState {
+	t.Helper()
+	var acked ackState
+	sync := func() {
+		if ing.Sync() == nil {
+			acked = ackState{seq: ing.Stats().LastSeq, stats: ing.Stats()}
+		}
+	}
+	for _, trip := range fixTrips[:2] {
+		for _, s := range trip.Samples {
+			_ = ing.AddFix(trip.ID, trip.Object, s.Pt, s.T)
+		}
+		_ = ing.CloseTrip(trip.ID)
+		sync()
+	}
+	_ = ing.CompactNow()
+	open := fixTrips[2]
+	for _, s := range open.Samples[:len(open.Samples)/2] {
+		_ = ing.AddFix(open.ID, open.Object, s.Pt, s.T)
+	}
+	sync()
+	return acked
+}
+
+// verifyRecovery boots a clean ingester over the crashed directory and
+// checks the contract: recovery never fails, never tears (the injected
+// faults fail whole operations, like a kill between syscalls), covers
+// every acknowledged record, and reconstructs the live in-memory state.
+func verifyRecovery(t *testing.T, dir string, acked ackState, live Stats) {
+	t.Helper()
+	rec, err := NewIngester(dir, fixed(newSummarizer(t)), IngesterOptions{
+		SegmentBytes: 512, Logger: discardLogger(),
+	})
+	if err != nil {
+		t.Fatalf("recovery after crash: %v", err)
+	}
+	st := rec.Stats()
+	if st.Replay.SkippedEvents != 0 {
+		t.Errorf("recovery skipped %d events; clean-cut faults must not tear the log", st.Replay.SkippedEvents)
+	}
+	// Zero acknowledged loss: everything up to the acknowledged sequence
+	// is covered by the checkpoint, the replayed WAL, or both.
+	if cover := max(st.LastSeq, st.CheckpointSeq); cover < acked.seq {
+		t.Errorf("recovered coverage (wal %d, checkpoint %d) < acknowledged seq %d",
+			st.LastSeq, st.CheckpointSeq, acked.seq)
+	}
+	// Replay is deterministic, so the rebuilt trip buffer matches the
+	// live one. BufferedFixes may exceed it when a compaction died after
+	// re-logging open trips but before truncating their originals — the
+	// duplicates merge into the same trips and the sanitizer drops the
+	// repeated timestamps at close time.
+	if st.OpenTrips != live.OpenTrips {
+		t.Errorf("recovered %d open trips, live had %d", st.OpenTrips, live.OpenTrips)
+	}
+	if st.BufferedFixes < live.BufferedFixes {
+		t.Errorf("recovered %d buffered fixes, live had %d", st.BufferedFixes, live.BufferedFixes)
+	}
+	// The recovered ingester is fully operational: it can finish the open
+	// trips and publish a compaction.
+	trip := fixTrips[2]
+	for _, s := range trip.Samples[len(trip.Samples)/2:] {
+		if err := rec.AddFix(trip.ID, trip.Object, s.Pt, s.T); err != nil {
+			t.Fatalf("AddFix after recovery: %v", err)
+		}
+	}
+	if err := rec.CloseTrip(trip.ID); err != nil {
+		t.Fatalf("CloseTrip after recovery: %v", err)
+	}
+	if err := rec.CompactNow(); err != nil {
+		t.Fatalf("CompactNow after recovery: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close after recovery: %v", err)
+	}
+}
+
+// TestCrashMatrix kills ingestion at each named fault point — append,
+// segment roll, and the stages of a compaction — and proves the
+// recovery contract at every one. Kill points are derived from a
+// recorded dry run of the same workload, so the matrix stays correct
+// when the workload or the write path changes shape.
+func TestCrashMatrix(t *testing.T) {
+	// Dry run: record every filesystem operation of a healthy workload.
+	dryFS := &faultFS{inner: osFS{}}
+	dry, err := NewIngester(t.TempDir(), fixed(newSummarizer(t)), IngesterOptions{
+		SegmentBytes: 512, FS: dryFS, Logger: discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dryFS.record = true
+	crashWorkload(t, dry)
+	trace := dryFS.trace
+
+	cases := []struct {
+		name       string
+		op, substr string
+	}{
+		{name: "kill-during-append", op: "write", substr: segPrefix},
+		{name: "kill-during-segment-roll", op: "rename", substr: openExt},
+		{name: "kill-during-compaction-model-write", op: "write", substr: modelExt + ".tmp"},
+		{name: "kill-during-compaction-model-sync", op: "sync", substr: modelExt + ".tmp"},
+		{name: "kill-during-compaction-checkpoint", op: "rename", substr: checkpointFile + ".tmp"},
+		{name: "kill-during-compaction-truncate", op: "remove", substr: sealedExt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			matched := 0
+			for _, e := range trace {
+				if e.matches(tc.op, tc.substr) {
+					matched++
+				}
+			}
+			if matched == 0 {
+				t.Fatalf("the workload never performs op %q on %q; the scenario tests nothing", tc.op, tc.substr)
+			}
+			dir := t.TempDir()
+			ffs := &faultFS{inner: osFS{}}
+			ing, err := NewIngester(dir, fixed(newSummarizer(t)), IngesterOptions{
+				SegmentBytes: 512, FS: ffs, Logger: discardLogger(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Kill at the midpoint occurrence: past the first barrier for
+			// the frequent ops, at the only occurrence for the rare ones.
+			ffs.armAfter(matched/2, tc.op, tc.substr)
+			acked := crashWorkload(t, ing)
+			if acked.seq == 0 {
+				t.Fatal("workload acknowledged nothing; the fault fired too early to test anything")
+			}
+			live := ing.Stats()
+			ffs.heal()
+			verifyRecovery(t, dir, acked, live)
+		})
+	}
+}
+
+// TestCrashMatrixEveryOperation is the exhaustive sweep: run the
+// workload once to count filesystem operations, then kill it at every
+// k-th operation (strided to keep the test fast) and prove the recovery
+// contract each time. This is the table the targeted cases above are
+// rows of — here the table is generated.
+func TestCrashMatrixEveryOperation(t *testing.T) {
+	// Dry run: count the operations a healthy workload performs.
+	dryDir := t.TempDir()
+	dryFS := &faultFS{inner: osFS{}}
+	dry, err := NewIngester(dryDir, fixed(newSummarizer(t)), IngesterOptions{
+		SegmentBytes: 512, FS: dryFS, Logger: discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupOps := dryFS.ops
+	crashWorkload(t, dry)
+	workloadOps := dryFS.ops - setupOps
+	if workloadOps < 20 {
+		t.Fatalf("workload performed only %d fs operations; the sweep would prove nothing", workloadOps)
+	}
+
+	stride := workloadOps / 24
+	if stride < 1 {
+		stride = 1
+	}
+	for k := 1; k <= workloadOps; k += stride {
+		dir := t.TempDir()
+		ffs := &faultFS{inner: osFS{}}
+		ing, err := NewIngester(dir, fixed(newSummarizer(t)), IngesterOptions{
+			SegmentBytes: 512, FS: ffs, Logger: discardLogger(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ffs.armAfter(k, "", "")
+		acked := crashWorkload(t, ing)
+		live := ing.Stats()
+		ffs.heal()
+		before := t.Failed()
+		verifyRecovery(t, dir, acked, live)
+		if t.Failed() && !before {
+			t.Fatalf("contract violated at kill point: operation %d of %d", k, workloadOps)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package ingest is the crash-safe streaming ingestion subsystem: GPS
+// fixes arriving over HTTP are appended to a segmented, checksummed
+// write-ahead log before they are acknowledged, buffered into open
+// trips, folded into the historical knowledge when a trip closes, and
+// periodically compacted into a new immutable model published through
+// the same atomic cell the /admin/reload path swaps (see
+// docs/ROBUSTNESS.md, "Ingestion durability").
+//
+// The package is built for failure: recovery replays the WAL
+// idempotently on boot (torn tail records are dropped and counted, not
+// fatal), a WAL-append failure degrades writes to 503 while reads keep
+// serving the last good model, backpressure sheds fixes with 429 when
+// the in-memory trip buffer is full, and a failed compaction leaves the
+// previous model published.
+package ingest
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the slice of filesystem the WAL and compactor run on. Production
+// code uses the package-level osFS; fault-injection tests substitute a
+// wrapper that fails or "kills the process" at a chosen operation, which
+// is how the crash matrix in fault_test.go simulates power loss between
+// any two syscalls.
+type FS interface {
+	// OpenFile opens a file with the given flags (the WAL appends with
+	// os.O_CREATE|os.O_WRONLY|os.O_APPEND and repairs tails with
+	// os.O_RDWR).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads a whole file (replay reads segments this way;
+	// segments are bounded by the roll threshold).
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(name string, perm os.FileMode) error
+}
+
+// File is the open-file surface the WAL needs.
+type File interface {
+	io.Writer
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Truncate cuts the file to the given size (torn-tail repair).
+	Truncate(size int64) error
+	// Close closes the file.
+	Close() error
+}
+
+// osFS is the production FS, backed by the os package.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }

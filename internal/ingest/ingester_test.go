@@ -1,0 +1,472 @@
+package ingest
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+
+	"stmaker"
+	"stmaker/internal/hits"
+	"stmaker/internal/metrics"
+	"stmaker/internal/simulate"
+	"stmaker/internal/traj"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}
+
+// errInjected is the fault every injected failure surfaces.
+var errInjected = errors.New("injected fault")
+
+// faultFS wraps a real filesystem with switchable fault injection, the
+// crash-matrix substrate: arm() makes every matching operation from the
+// Nth onward fail, which models a kill at that instant — everything the
+// code managed to write before the fault is on disk, nothing after.
+type faultFS struct {
+	inner FS
+
+	mu        sync.Mutex
+	ops       int
+	armed     bool
+	remaining int    // matching ops still allowed before failures start
+	op        string // only this operation fails; "" = all
+	substr    string // only paths containing this fail; "" = all
+
+	record bool // when set, every operation is appended to trace
+	trace  []opEvent
+}
+
+// opEvent is one recorded filesystem operation of a dry run; the crash
+// matrix replays the same workload and derives its kill points from it.
+type opEvent struct {
+	op, path string
+}
+
+func (e opEvent) matches(op, substr string) bool {
+	return (op == "" || e.op == op) && (substr == "" || strings.Contains(e.path, substr))
+}
+
+// armAfter makes every matching operation fail once n more matching
+// operations have succeeded (n=0 fails the next one).
+func (f *faultFS) armAfter(n int, op, substr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed, f.remaining, f.op, f.substr = true, n, op, substr
+}
+
+// failNow makes every matching operation fail from now on.
+func (f *faultFS) failNow(op string) { f.armAfter(0, op, "") }
+
+// failPath makes every operation on matching paths fail from now on.
+func (f *faultFS) failPath(substr string) { f.armAfter(0, "", substr) }
+
+func (f *faultFS) heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = false
+}
+
+// check counts one operation and reports whether it must fail.
+func (f *faultFS) check(op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.record {
+		f.trace = append(f.trace, opEvent{op: op, path: path})
+	}
+	if !f.armed || !(opEvent{op: op, path: path}).matches(f.op, f.substr) {
+		return nil
+	}
+	if f.remaining > 0 {
+		f.remaining--
+		return nil
+	}
+	return errInjected
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := f.check("open", name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: name}, nil
+}
+
+func (f *faultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.check("readfile", name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *faultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.check("readdir", name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if err := f.check("rename", oldpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error {
+	if err := f.check("remove", name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *faultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.check("mkdir", path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+type faultFile struct {
+	File
+	fs   *faultFS
+	path string
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.check("write", f.path); err != nil {
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.check("sync", f.path); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.fs.check("truncate", f.path); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}
+
+// The ingestion fixture: one small trained city shared by every test.
+// Each test builds its own Summarizer over the shared world and model,
+// so compactions publishing through LoadModel cannot leak across tests.
+var (
+	fixOnce  sync.Once
+	fixCity  *simulate.City
+	fixModel *stmaker.Model
+	fixTrips []*traj.Raw
+	fixErr   error
+)
+
+func buildFixture() {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 6, Cols: 6, BlockMeters: 500, Seed: 21})
+	checkins := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 22})
+	city.Landmarks.InferSignificance(200, checkins, hits.Options{})
+	s, err := stmaker.New(stmaker.Config{Graph: city.Graph, Landmarks: city.Landmarks})
+	if err != nil {
+		fixErr = err
+		return
+	}
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 60, Seed: 23, FixedHour: -1, Calm: true})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		fixErr = err
+		return
+	}
+	live := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 10, Seed: 24, FixedHour: 9})
+	for _, tr := range live {
+		fixTrips = append(fixTrips, tr.Raw)
+	}
+	fixCity, fixModel = city, s.Model()
+}
+
+// newSummarizer returns a fresh summarizer serving the fixture model.
+func newSummarizer(t testing.TB) *stmaker.Summarizer {
+	t.Helper()
+	fixOnce.Do(buildFixture)
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
+	}
+	s, err := stmaker.New(stmaker.Config{Graph: fixCity.Graph, Landmarks: fixCity.Landmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadModel(fixModel); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fixed(s *stmaker.Summarizer) func() (*stmaker.Summarizer, error) {
+	return func() (*stmaker.Summarizer, error) { return s, nil }
+}
+
+// feedTrip streams one fixture trip into the ingester, optionally
+// closing it, failing the test on any error.
+func feedTrip(t *testing.T, ing *Ingester, raw *traj.Raw, close bool) {
+	t.Helper()
+	for _, s := range raw.Samples {
+		if err := ing.AddFix(raw.ID, raw.Object, s.Pt, s.T); err != nil {
+			t.Fatalf("AddFix(%s): %v", raw.ID, err)
+		}
+	}
+	if close {
+		if err := ing.CloseTrip(raw.ID); err != nil {
+			t.Fatalf("CloseTrip(%s): %v", raw.ID, err)
+		}
+	}
+}
+
+func TestIngesterRecoveryRebuildsState(t *testing.T) {
+	dir := t.TempDir()
+	s := newSummarizer(t)
+	mx := metrics.NewRegistry()
+	ing, err := NewIngester(dir, fixed(s), IngesterOptions{Logger: discardLogger(), Metrics: mx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, open := fixTrips[0], fixTrips[1]
+	feedTrip(t, ing, closed, true)
+	// The open trip stops mid-stream: half its fixes, no end marker.
+	half := &traj.Raw{ID: open.ID, Object: open.Object, Samples: open.Samples[:len(open.Samples)/2]}
+	feedTrip(t, ing, half, false)
+	if err := ing.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	live := ing.Stats()
+	if live.TripsFolded != 1 || live.OpenTrips != 1 || live.BufferedFixes != len(half.Samples) {
+		t.Fatalf("live stats = %+v, want 1 folded, 1 open with %d fixes", live, len(half.Samples))
+	}
+	// Crash: the ingester is abandoned without Close, leaving the open
+	// segment unsealed.
+	rec, err := NewIngester(dir, fixed(newSummarizer(t)), IngesterOptions{Logger: discardLogger()})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	st := rec.Stats()
+	if st.Replay.SkippedEvents != 0 {
+		t.Fatalf("clean shutdownless recovery skipped %d events", st.Replay.SkippedEvents)
+	}
+	if st.Replay.Records != len(closed.Samples)+1+len(half.Samples) {
+		t.Fatalf("replayed %d records, want %d fixes + 1 close + %d fixes",
+			st.Replay.Records, len(closed.Samples), len(half.Samples))
+	}
+	if st.TripsFolded != live.TripsFolded || st.OpenTrips != live.OpenTrips || st.BufferedFixes != live.BufferedFixes {
+		t.Fatalf("recovered stats %+v != live stats %+v", st, live)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngesterBackpressureSheds(t *testing.T) {
+	dir := t.TempDir()
+	s := newSummarizer(t)
+	mx := metrics.NewRegistry()
+	ing, err := NewIngester(dir, fixed(s), IngesterOptions{
+		BufferFixes: 3, Logger: discardLogger(), Metrics: mx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip := fixTrips[0]
+	for i := 0; i < 3; i++ {
+		if err := ing.AddFix(trip.ID, trip.Object, trip.Samples[i].Pt, trip.Samples[i].T); err != nil {
+			t.Fatalf("AddFix %d under capacity: %v", i, err)
+		}
+	}
+	if err := ing.AddFix(trip.ID, trip.Object, trip.Samples[3].Pt, trip.Samples[3].T); !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("AddFix over capacity = %v, want ErrBufferFull", err)
+	}
+	if got := mx.Counter(MetricShed).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricShed, got)
+	}
+	// Shedding is not a WAL fault: closing the trip drains the buffer and
+	// ingestion resumes.
+	if err := ing.CloseTrip(trip.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.AddFix(trip.ID, trip.Object, trip.Samples[4].Pt, trip.Samples[4].T); err != nil {
+		t.Fatalf("AddFix after drain: %v", err)
+	}
+}
+
+func TestIngesterTripFixLimitAutoCloses(t *testing.T) {
+	dir := t.TempDir()
+	s := newSummarizer(t)
+	mx := metrics.NewRegistry()
+	ing, err := NewIngester(dir, fixed(s), IngesterOptions{
+		TripFixLimit: 4, Logger: discardLogger(), Metrics: mx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip := fixTrips[0]
+	for i := 0; i < 8; i++ {
+		if err := ing.AddFix(trip.ID, trip.Object, trip.Samples[i].Pt, trip.Samples[i].T); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ing.Stats()
+	if st.OpenTrips != 0 || st.BufferedFixes != 0 {
+		t.Fatalf("stats = %+v, want the capped trip force-closed twice", st)
+	}
+	if got := mx.Counter(MetricTripsClosed).Value(); got != 2 {
+		t.Fatalf("%s = %d, want 2 auto-closes", MetricTripsClosed, got)
+	}
+	// The cap applies identically during replay: recovery reconstructs
+	// the same closes from the same fix stream.
+	rec, err := NewIngester(dir, fixed(newSummarizer(t)), IngesterOptions{
+		TripFixLimit: 4, Logger: discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rec.Stats(); st.OpenTrips != 0 || st.BufferedFixes != 0 {
+		t.Fatalf("recovered stats = %+v, want the same auto-closes", st)
+	}
+}
+
+func TestIngesterDegradedWALKeepsReads(t *testing.T) {
+	dir := t.TempDir()
+	s := newSummarizer(t)
+	ffs := &faultFS{inner: osFS{}}
+	ing, err := NewIngester(dir, fixed(s), IngesterOptions{FS: ffs, Logger: discardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip := fixTrips[0]
+	if err := ing.AddFix(trip.ID, trip.Object, trip.Samples[0].Pt, trip.Samples[0].T); err != nil {
+		t.Fatal(err)
+	}
+	ffs.failNow("write")
+	if err := ing.AddFix(trip.ID, trip.Object, trip.Samples[1].Pt, trip.Samples[1].T); err == nil {
+		t.Fatal("AddFix with failing disk succeeded")
+	}
+	ffs.heal()
+	// Degradation is sticky for writes...
+	if err := ing.AddFix(trip.ID, trip.Object, trip.Samples[2].Pt, trip.Samples[2].T); err == nil {
+		t.Fatal("AddFix after WAL fault succeeded; degradation must be sticky")
+	}
+	// ...while reads are untouched: the summarizer still serves.
+	if _, err := s.Summarize(fixTrips[1]); err != nil {
+		t.Fatalf("Summarize with degraded WAL: %v", err)
+	}
+}
+
+func TestCompactionPublishesCheckpointAndTruncates(t *testing.T) {
+	dir := t.TempDir()
+	s := newSummarizer(t)
+	mx := metrics.NewRegistry()
+	ing, err := NewIngester(dir, fixed(s), IngesterOptions{
+		SegmentBytes: 256, Logger: discardLogger(), Metrics: mx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Model().Version()
+	for _, trip := range fixTrips[:3] {
+		feedTrip(t, ing, trip, true)
+	}
+	open := fixTrips[3]
+	half := &traj.Raw{ID: open.ID, Object: open.Object, Samples: open.Samples[:5]}
+	feedTrip(t, ing, half, false)
+
+	if err := ing.CompactNow(); err != nil {
+		t.Fatalf("CompactNow: %v", err)
+	}
+	st := ing.Stats()
+	if st.CheckpointSeq == 0 {
+		t.Fatal("compaction left checkpoint seq 0")
+	}
+	if got := s.Model().Version(); got == before {
+		t.Fatal("compaction did not publish a new model version")
+	}
+	if got := mx.Counter(MetricCompactions).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricCompactions, got)
+	}
+	// A second compaction with nothing new is a no-op.
+	if err := ing.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mx.Counter(MetricCompactions).Value(); got != 1 {
+		t.Fatalf("clean compaction ran anyway: %s = %d", MetricCompactions, got)
+	}
+
+	// Recovery from the checkpoint: folded trips come from the model, the
+	// open trip from the re-logged WAL tail; nothing is re-folded.
+	rec, err := NewIngester(dir, fixed(newSummarizer(t)), IngesterOptions{Logger: discardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst := rec.Stats()
+	if rst.CheckpointSeq != st.CheckpointSeq {
+		t.Fatalf("recovered checkpoint seq %d, want %d", rst.CheckpointSeq, st.CheckpointSeq)
+	}
+	if rst.TripsFolded != 0 {
+		t.Fatalf("recovery re-folded %d checkpointed trips", rst.TripsFolded)
+	}
+	if rst.OpenTrips != 1 || rst.BufferedFixes != len(half.Samples) {
+		t.Fatalf("recovered stats %+v, want the open trip's %d fixes back", rst, len(half.Samples))
+	}
+}
+
+func TestCompactionFailureKeepsPreviousModel(t *testing.T) {
+	dir := t.TempDir()
+	s := newSummarizer(t)
+	mx := metrics.NewRegistry()
+	ffs := &faultFS{inner: osFS{}}
+	ing, err := NewIngester(dir, fixed(s), IngesterOptions{FS: ffs, Logger: discardLogger(), Metrics: mx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Model().Version()
+	feedTrip(t, ing, fixTrips[0], true)
+
+	// Fail the compaction model's temp-file write: the freeze has already
+	// happened, but the commit point is never reached.
+	ffs.failPath(modelExt + ".tmp")
+	if err := ing.CompactNow(); err == nil {
+		t.Fatal("CompactNow with failing model persist succeeded")
+	}
+	if got := s.Model().Version(); got != before {
+		t.Fatal("failed compaction swapped the serving model")
+	}
+	if st := ing.Stats(); st.CheckpointSeq != 0 {
+		t.Fatal("failed compaction advanced the checkpoint")
+	}
+	if got := mx.Counter(MetricCompactionFailures).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricCompactionFailures, got)
+	}
+
+	// The knowledge stayed dirty: once the disk heals, the next attempt
+	// publishes everything.
+	ffs.heal()
+	if err := ing.CompactNow(); err != nil {
+		t.Fatalf("CompactNow after heal: %v", err)
+	}
+	if got := s.Model().Version(); got == before {
+		t.Fatal("healed compaction did not publish")
+	}
+	if st := ing.Stats(); st.CheckpointSeq == 0 {
+		t.Fatal("healed compaction did not advance the checkpoint")
+	}
+}

@@ -1,0 +1,120 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"stmaker/internal/geo"
+)
+
+// RecordKind discriminates WAL record payloads.
+type RecordKind byte
+
+const (
+	// KindFix is one GPS fix of an open trip.
+	KindFix RecordKind = 1
+	// KindClose is an explicit end-of-trip marker.
+	KindClose RecordKind = 2
+)
+
+// maxTripIDLen caps the trip and object identifier lengths in a WAL
+// record — long enough for any reasonable client key, short enough that
+// a hostile or corrupt length field cannot provoke a large allocation.
+const maxTripIDLen = 1024
+
+// Record is one durable ingestion event: a GPS fix attributed to a trip,
+// or a trip-close marker. Records are what the WAL frames, checksums and
+// replays.
+type Record struct {
+	Kind   RecordKind
+	Trip   string
+	Object string
+	Pt     geo.Point
+	T      time.Time
+}
+
+// appendRecord encodes r onto buf. Layout (little-endian):
+//
+//	u8 kind | uv len(trip) + trip
+//	fix only: uv len(object) + object | f64 lat | f64 lng | i64 unixNanos
+func appendRecord(buf []byte, r Record) ([]byte, error) {
+	if r.Kind != KindFix && r.Kind != KindClose {
+		return nil, fmt.Errorf("ingest: unknown record kind %d", r.Kind)
+	}
+	if r.Trip == "" || len(r.Trip) > maxTripIDLen {
+		return nil, fmt.Errorf("ingest: trip id length %d out of range (1..%d)", len(r.Trip), maxTripIDLen)
+	}
+	if len(r.Object) > maxTripIDLen {
+		return nil, fmt.Errorf("ingest: object id length %d exceeds %d", len(r.Object), maxTripIDLen)
+	}
+	buf = append(buf, byte(r.Kind))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Trip)))
+	buf = append(buf, r.Trip...)
+	if r.Kind == KindClose {
+		return buf, nil
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Object)))
+	buf = append(buf, r.Object...)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Pt.Lat))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Pt.Lng))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.T.UnixNano()))
+	return buf, nil
+}
+
+// decodeRecord parses one record payload. The input is untrusted (it
+// comes off disk): every length is bounds-checked and any structural
+// problem returns an error — never a panic, never an over-allocation.
+// It requires the payload to be exactly consumed.
+func decodeRecord(b []byte) (Record, error) {
+	var r Record
+	if len(b) < 1 {
+		return r, fmt.Errorf("ingest: empty record")
+	}
+	r.Kind = RecordKind(b[0])
+	b = b[1:]
+	trip, b, err := decodeString(b, "trip")
+	if err != nil {
+		return r, err
+	}
+	r.Trip = trip
+	switch r.Kind {
+	case KindClose:
+		if len(b) != 0 {
+			return r, fmt.Errorf("ingest: %d trailing bytes after close record", len(b))
+		}
+		return r, nil
+	case KindFix:
+	default:
+		return r, fmt.Errorf("ingest: unknown record kind %d", r.Kind)
+	}
+	obj, b, err := decodeString(b, "object")
+	if err != nil {
+		return r, err
+	}
+	r.Object = obj
+	if len(b) != 24 {
+		return r, fmt.Errorf("ingest: fix record has %d trailing bytes, want 24", len(b))
+	}
+	r.Pt = geo.Point{
+		Lat: math.Float64frombits(binary.LittleEndian.Uint64(b[0:8])),
+		Lng: math.Float64frombits(binary.LittleEndian.Uint64(b[8:16])),
+	}
+	r.T = time.Unix(0, int64(binary.LittleEndian.Uint64(b[16:24]))).UTC()
+	return r, nil
+}
+
+// decodeString reads a uvarint-prefixed string, enforcing the identifier
+// length cap, and returns the remaining bytes.
+func decodeString(b []byte, what string) (string, []byte, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return "", nil, fmt.Errorf("ingest: bad %s length varint", what)
+	}
+	b = b[w:]
+	if n > maxTripIDLen || n > uint64(len(b)) {
+		return "", nil, fmt.Errorf("ingest: %s length %d out of range (have %d bytes)", what, n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}

@@ -1,0 +1,516 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	// sealedExt marks immutable, fully-synced segments.
+	sealedExt = ".log"
+	// openExt marks the single segment currently being appended to. A
+	// roll renames it to sealedExt after a final fsync, so the rename is
+	// the durability barrier: a ".log" file never has an unsynced tail
+	// written before the roll.
+	openExt = ".open"
+	// segPrefix + 16 hex digits of the first sequence number in the
+	// segment gives lexicographic order == replay order.
+	segPrefix = "wal-"
+
+	defaultSegmentBytes = 4 << 20
+	// maxRecordBytes bounds one framed payload; anything larger in a
+	// length header is corruption, not an allocation request.
+	maxRecordBytes = 64 << 10
+	// frameHeaderLen is u32 payload length + u32 CRC-32C of the payload.
+	frameHeaderLen = 8
+)
+
+// castagnoli matches the polynomial used by internal/modelio, so the
+// whole on-disk surface of the project shares one checksum discipline.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWALClosed is returned by operations on a closed WAL.
+var ErrWALClosed = errors.New("ingest: wal closed")
+
+// WALOptions tunes a WAL. The zero value is usable.
+type WALOptions struct {
+	// SegmentBytes is the roll threshold (default 4 MiB).
+	SegmentBytes int64
+	// FS overrides the filesystem (fault-injection tests); nil means the
+	// real one.
+	FS FS
+	// Logger receives replay-repair notices; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// ReplayStats reports what recovery found in the log directory.
+type ReplayStats struct {
+	// Records is the count of valid records replayed.
+	Records int
+	// SkippedEvents counts corruption sites (each loses one or more
+	// trailing records of a segment); torn tails from a crash mid-append
+	// are the expected case.
+	SkippedEvents int
+	// SkippedBytes is the total bytes dropped at those sites.
+	SkippedBytes int64
+	// Segments is the number of segment files scanned.
+	Segments int
+	// LastSeq is the highest sequence number recovered (0 if none).
+	LastSeq uint64
+}
+
+// segment is a sealed, immutable WAL file.
+type segment struct {
+	name     string // base name, sealedExt
+	firstSeq uint64
+	lastSeq  uint64
+	bytes    int64
+}
+
+// WAL is a segmented, checksummed, crash-recoverable append log of
+// ingestion Records. Appends go to a single ".open" segment; when it
+// passes the roll threshold it is fsynced and atomically renamed to
+// ".log" (sealed). Explicit Sync is the caller's durability barrier for
+// records acknowledged to clients since the last roll.
+//
+// Any write or sync failure poisons the WAL: the error sticks and every
+// later Append/Sync/Roll returns it, so the caller can degrade writes
+// while reads keep serving. A WAL is safe for concurrent use.
+type WAL struct {
+	dir string
+	fs  FS
+	log *slog.Logger
+
+	mu            sync.Mutex
+	segBytes      int64
+	sealed        []segment
+	active        File
+	activeName    string
+	activeFirst   uint64
+	activeRecords int
+	activeBytes   int64
+	lastSeq       uint64
+	buf           []byte
+	failed        error
+	closed        bool
+}
+
+// OpenWAL opens (creating if needed) the log directory, replays every
+// valid record in sequence order through fn, repairs torn tails by
+// physically truncating them, seals any segment left open by a crash,
+// and starts a fresh open segment for new appends.
+//
+// Corruption is never fatal to Open: a bad frame drops the remainder of
+// that one segment (counted in ReplayStats and logged) and replay
+// continues with the next segment. Only fn returning an error, or I/O
+// errors listing/creating files, abort Open.
+func OpenWAL(dir string, fn func(seq uint64, rec Record) error, opts WALOptions) (*WAL, ReplayStats, error) {
+	w := &WAL{
+		dir:      dir,
+		fs:       opts.FS,
+		log:      opts.Logger,
+		segBytes: opts.SegmentBytes,
+	}
+	if w.fs == nil {
+		w.fs = osFS{}
+	}
+	if w.log == nil {
+		w.log = slog.Default()
+	}
+	if w.segBytes <= 0 {
+		w.segBytes = defaultSegmentBytes
+	}
+	var stats ReplayStats
+	if err := w.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, fmt.Errorf("ingest: create wal dir: %w", err)
+	}
+	names, err := w.listSegments()
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Segments = len(names)
+	for i, name := range names {
+		last := i == len(names)-1
+		if err := w.replaySegment(name, last, fn, &stats); err != nil {
+			return nil, stats, err
+		}
+	}
+	stats.LastSeq = w.lastSeq
+	if err := w.openActive(); err != nil {
+		return nil, stats, err
+	}
+	return w, stats, nil
+}
+
+// listSegments returns segment base names in replay (sequence) order.
+func (w *WAL) listSegments() ([]string, error) {
+	entries, err := w.fs.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: list wal dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, _, ok := parseSegName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		si, oi, _ := parseSegName(names[i])
+		sj, oj, _ := parseSegName(names[j])
+		if si != sj {
+			return si < sj
+		}
+		return !oi && oj // sealed before open at the same first-seq
+	})
+	return names, nil
+}
+
+// parseSegName extracts the first sequence number from a segment file
+// name, reporting whether it is an open segment.
+func parseSegName(name string) (firstSeq uint64, open bool, ok bool) {
+	rest, found := strings.CutPrefix(name, segPrefix)
+	if !found {
+		return 0, false, false
+	}
+	var ext string
+	switch {
+	case strings.HasSuffix(rest, sealedExt):
+		ext = sealedExt
+	case strings.HasSuffix(rest, openExt):
+		ext = openExt
+		open = true
+	default:
+		return 0, false, false
+	}
+	hexa := strings.TrimSuffix(rest, ext)
+	if len(hexa) != 16 {
+		return 0, false, false
+	}
+	seq, err := strconv.ParseUint(hexa, 16, 64)
+	if err != nil {
+		return 0, false, false
+	}
+	return seq, open, true
+}
+
+func segName(firstSeq uint64, ext string) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstSeq, ext)
+}
+
+// replaySegment replays one segment file. The last segment in the
+// directory gets torn-tail repair (physical truncation at the first bad
+// frame); earlier segments only skip-and-count, since their tails were
+// already repaired on a previous boot or sealed by a clean roll.
+// Segments left with zero valid records are deleted; an open segment
+// with records is sealed in place.
+func (w *WAL) replaySegment(name string, last bool, fn func(uint64, Record) error, stats *ReplayStats) error {
+	path := filepath.Join(w.dir, name)
+	data, err := w.fs.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("ingest: read wal segment %s: %w", name, err)
+	}
+	firstSeq, open, _ := parseSegName(name)
+	records := 0
+	var lastSeq uint64
+	off := 0
+	for off < len(data) {
+		n, seq, rec, derr := decodeFrame(data[off:])
+		if derr == nil && seq <= w.lastSeq {
+			derr = fmt.Errorf("ingest: sequence %d not after %d", seq, w.lastSeq)
+		}
+		if derr != nil {
+			dropped := int64(len(data) - off)
+			stats.SkippedEvents++
+			stats.SkippedBytes += dropped
+			w.log.Warn("wal: dropping corrupt segment tail",
+				"segment", name, "offset", off, "bytes", dropped, "err", derr)
+			if last {
+				if terr := w.truncateFile(path, int64(off)); terr != nil {
+					return fmt.Errorf("ingest: repair torn tail of %s: %w", name, terr)
+				}
+				data = data[:off]
+			}
+			break
+		}
+		if err := fn(seq, rec); err != nil {
+			return fmt.Errorf("ingest: replay seq %d: %w", seq, err)
+		}
+		w.lastSeq = seq
+		lastSeq = seq
+		records++
+		stats.Records++
+		off += n
+	}
+	if records == 0 {
+		if err := w.fs.Remove(path); err != nil {
+			return fmt.Errorf("ingest: remove empty wal segment %s: %w", name, err)
+		}
+		return nil
+	}
+	sealedName := name
+	if open {
+		sealedName = segName(firstSeq, sealedExt)
+		if err := w.fs.Rename(path, filepath.Join(w.dir, sealedName)); err != nil {
+			return fmt.Errorf("ingest: seal wal segment %s: %w", name, err)
+		}
+	}
+	w.sealed = append(w.sealed, segment{
+		name:     sealedName,
+		firstSeq: firstSeq,
+		lastSeq:  lastSeq,
+		bytes:    int64(len(data)),
+	})
+	return nil
+}
+
+// truncateFile cuts path to size and syncs it.
+func (w *WAL) truncateFile(path string, size int64) error {
+	f, err := w.fs.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// decodeFrame parses one frame from the head of b, returning the number
+// of bytes consumed. Errors mean "corruption or torn tail from here on".
+func decodeFrame(b []byte) (n int, seq uint64, rec Record, err error) {
+	if len(b) < frameHeaderLen {
+		return 0, 0, rec, fmt.Errorf("ingest: torn frame header (%d bytes)", len(b))
+	}
+	plen := binary.LittleEndian.Uint32(b[0:4])
+	if plen == 0 || plen > maxRecordBytes {
+		return 0, 0, rec, fmt.Errorf("ingest: frame length %d out of range", plen)
+	}
+	if uint64(len(b)-frameHeaderLen) < uint64(plen) {
+		return 0, 0, rec, fmt.Errorf("ingest: torn frame payload (%d of %d bytes)", len(b)-frameHeaderLen, plen)
+	}
+	payload := b[frameHeaderLen : frameHeaderLen+int(plen)]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return 0, 0, rec, fmt.Errorf("ingest: frame checksum mismatch (got %08x want %08x)", got, want)
+	}
+	seq, v := binary.Uvarint(payload)
+	if v <= 0 || seq == 0 {
+		return 0, 0, rec, fmt.Errorf("ingest: bad frame sequence varint")
+	}
+	rec, err = decodeRecord(payload[v:])
+	if err != nil {
+		return 0, 0, rec, err
+	}
+	return frameHeaderLen + int(plen), seq, rec, nil
+}
+
+// openActive starts a fresh open segment whose first sequence is the
+// next to be appended.
+func (w *WAL) openActive() error {
+	w.activeFirst = w.lastSeq + 1
+	w.activeName = segName(w.activeFirst, openExt)
+	f, err := w.fs.OpenFile(filepath.Join(w.dir, w.activeName), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: open wal segment %s: %w", w.activeName, err)
+	}
+	w.active = f
+	w.activeRecords = 0
+	w.activeBytes = 0
+	return nil
+}
+
+// Append frames, checksums and writes rec, assigning it the next
+// sequence number, and rolls the segment if it passed the threshold.
+// The record is durable only after the next Sync, roll or Close. A
+// failed append poisons the WAL (sticky error).
+func (w *WAL) Append(rec Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.usable(); err != nil {
+		return 0, err
+	}
+	seq := w.lastSeq + 1
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	w.buf = binary.AppendUvarint(w.buf, seq)
+	var err error
+	w.buf, err = appendRecord(w.buf, rec)
+	if err != nil {
+		return 0, err // encoding error: caller bug or bad input, not a WAL fault
+	}
+	payload := w.buf[frameHeaderLen:]
+	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.active.Write(w.buf); err != nil {
+		w.failed = fmt.Errorf("ingest: wal append: %w", err)
+		return 0, w.failed
+	}
+	w.lastSeq = seq
+	w.activeRecords++
+	w.activeBytes += int64(len(w.buf))
+	if w.activeBytes >= w.segBytes {
+		if err := w.roll(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// Sync makes every appended record durable.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.usable(); err != nil {
+		return err
+	}
+	if err := w.active.Sync(); err != nil {
+		w.failed = fmt.Errorf("ingest: wal sync: %w", err)
+		return w.failed
+	}
+	return nil
+}
+
+// Roll seals the active segment (fsync + atomic rename) and opens a new
+// one. It is a no-op when the active segment is empty, so callers can
+// use it freely as a compaction barrier.
+func (w *WAL) Roll() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.usable(); err != nil {
+		return err
+	}
+	return w.roll()
+}
+
+// roll implements Roll; callers hold w.mu.
+func (w *WAL) roll() error {
+	if w.activeRecords == 0 {
+		return nil
+	}
+	if err := w.active.Sync(); err != nil {
+		w.failed = fmt.Errorf("ingest: wal roll sync: %w", err)
+		return w.failed
+	}
+	if err := w.active.Close(); err != nil {
+		w.failed = fmt.Errorf("ingest: wal roll close: %w", err)
+		return w.failed
+	}
+	sealedName := segName(w.activeFirst, sealedExt)
+	if err := w.fs.Rename(filepath.Join(w.dir, w.activeName), filepath.Join(w.dir, sealedName)); err != nil {
+		w.failed = fmt.Errorf("ingest: wal roll rename: %w", err)
+		return w.failed
+	}
+	w.sealed = append(w.sealed, segment{
+		name:     sealedName,
+		firstSeq: w.activeFirst,
+		lastSeq:  w.lastSeq,
+		bytes:    w.activeBytes,
+	})
+	if err := w.openActive(); err != nil {
+		w.failed = err
+		return w.failed
+	}
+	return nil
+}
+
+// usable reports the sticky failure or closed state; callers hold w.mu.
+func (w *WAL) usable() error {
+	if w.closed {
+		return ErrWALClosed
+	}
+	return w.failed
+}
+
+// LastSeq returns the highest sequence number appended or recovered.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq
+}
+
+// Bytes returns the total on-disk size of the log (sealed + active).
+func (w *WAL) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := w.activeBytes
+	for _, s := range w.sealed {
+		total += s.bytes
+	}
+	return total
+}
+
+// TruncateThrough deletes sealed segments fully covered by a checkpoint
+// at seq (every record in them has sequence <= seq). Deletion failures
+// are logged and retried implicitly at the next call — leftover segments
+// cost disk, not correctness, because replay is idempotent below the
+// checkpoint. Returns the number of segments removed.
+func (w *WAL) TruncateThrough(seq uint64) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	removed := 0
+	kept := w.sealed[:0]
+	for _, s := range w.sealed {
+		if s.lastSeq <= seq {
+			if err := w.fs.Remove(filepath.Join(w.dir, s.name)); err != nil {
+				w.log.Warn("wal: truncate failed to remove segment", "segment", s.name, "err", err)
+				kept = append(kept, s)
+				continue
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	w.sealed = kept
+	return removed
+}
+
+// Close syncs and seals the active segment. An empty active segment is
+// removed instead of sealed. The WAL rejects all operations afterwards.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.active == nil {
+		return nil
+	}
+	if w.activeRecords == 0 {
+		err := w.active.Close()
+		if rerr := w.fs.Remove(filepath.Join(w.dir, w.activeName)); rerr != nil && err == nil {
+			err = rerr
+		}
+		w.active = nil
+		return err
+	}
+	if err := w.active.Sync(); err != nil {
+		w.active.Close()
+		w.active = nil
+		return err
+	}
+	if err := w.active.Close(); err != nil {
+		w.active = nil
+		return err
+	}
+	err := w.fs.Rename(filepath.Join(w.dir, w.activeName), filepath.Join(w.dir, segName(w.activeFirst, sealedExt)))
+	w.active = nil
+	return err
+}

@@ -1,0 +1,322 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"stmaker/internal/geo"
+)
+
+// testRecord builds a deterministic fix record from an index.
+func testRecord(i int) Record {
+	return Record{
+		Kind:   KindFix,
+		Trip:   fmt.Sprintf("trip-%03d", i%7),
+		Object: fmt.Sprintf("taxi-%02d", i%3),
+		Pt:     geo.Point{Lat: 39.9 + float64(i)*1e-4, Lng: 116.4 - float64(i)*1e-4},
+		T:      time.Date(2013, 11, 2, 9, 0, i, 0, time.UTC),
+	}
+}
+
+// openCollecting opens a WAL that records every replayed (seq, record).
+func openCollecting(t *testing.T, dir string, opts WALOptions) (*WAL, ReplayStats, []uint64, []Record) {
+	t.Helper()
+	var seqs []uint64
+	var recs []Record
+	opts.Logger = discardLogger()
+	w, stats, err := OpenWAL(dir, func(seq uint64, rec Record) error {
+		seqs = append(seqs, seq)
+		recs = append(recs, rec)
+		return nil
+	}, opts)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	return w, stats, seqs, recs
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, _ := openCollecting(t, dir, WALOptions{})
+	const n = 25
+	want := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec := testRecord(i)
+		if i%6 == 5 {
+			rec = Record{Kind: KindClose, Trip: rec.Trip}
+		}
+		seq, err := w.Append(rec)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append %d assigned seq %d, want %d", i, seq, i+1)
+		}
+		want = append(want, rec)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, stats, seqs, recs := openCollecting(t, dir, WALOptions{})
+	if stats.Records != n || stats.SkippedEvents != 0 || stats.LastSeq != n {
+		t.Fatalf("replay stats = %+v, want %d clean records", stats, n)
+	}
+	for i, rec := range recs {
+		if seqs[i] != uint64(i+1) {
+			t.Fatalf("replayed seq[%d] = %d, want %d", i, seqs[i], i+1)
+		}
+		w, g := want[i], rec
+		if g.Kind != w.Kind || g.Trip != w.Trip || g.Object != w.Object || !g.T.Equal(w.T) {
+			t.Fatalf("replayed record %d = %+v, want %+v", i, g, w)
+		}
+		if g.Kind == KindFix && (g.Pt.Lat != w.Pt.Lat || g.Pt.Lng != w.Pt.Lng) { //lint:allow floateq -- round-trip must be bit-exact
+			t.Fatalf("replayed point %d = %v, want %v", i, g.Pt, w.Pt)
+		}
+	}
+}
+
+func TestWALSegmentRollAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny threshold: every append rolls into its own sealed segment.
+	w, _, _, _ := openCollecting(t, dir, WALOptions{SegmentBytes: 1})
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(testRecord(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if got := countFiles(t, dir, sealedExt); got != 5 {
+		t.Fatalf("sealed segments = %d, want 5", got)
+	}
+	// Truncating through seq 3 deletes the three fully-covered segments.
+	if removed := w.TruncateThrough(3); removed != 3 {
+		t.Fatalf("TruncateThrough removed %d, want 3", removed)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, stats, seqs, _ := openCollecting(t, dir, WALOptions{SegmentBytes: 1})
+	if stats.Records != 2 || stats.LastSeq != 5 {
+		t.Fatalf("replay after truncate = %+v, want records 4..5", stats)
+	}
+	if seqs[0] != 4 || seqs[1] != 5 {
+		t.Fatalf("replayed seqs = %v, want [4 5]", seqs)
+	}
+}
+
+func TestWALTornTailRepairedOnce(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, _ := openCollecting(t, dir, WALOptions{})
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(testRecord(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Simulate a crash mid-append: garbage after the last full frame.
+	seg := singleFile(t, dir, sealedExt)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, stats, _, _ := openCollecting(t, dir, WALOptions{})
+	if stats.Records != 10 || stats.SkippedEvents != 1 || stats.LastSeq != 10 {
+		t.Fatalf("replay over torn tail = %+v, want 10 records, 1 skip", stats)
+	}
+	// Appends continue from the recovered sequence.
+	if seq, err := w2.Append(testRecord(10)); err != nil || seq != 11 {
+		t.Fatalf("Append after repair = (%d, %v), want seq 11", seq, err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The tail was physically truncated: the next boot sees a clean log.
+	_, stats, _, _ = openCollecting(t, dir, WALOptions{})
+	if stats.Records != 11 || stats.SkippedEvents != 0 {
+		t.Fatalf("second replay = %+v, want 11 clean records", stats)
+	}
+}
+
+func TestWALCorruptionMidLogSkipsOneSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, _ := openCollecting(t, dir, WALOptions{SegmentBytes: 1})
+	for i := 0; i < 6; i++ {
+		if _, err := w.Append(testRecord(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the third segment (seq 3): its checksum must
+	// catch the damage and replay must continue with segment 4.
+	seg := filepath.Join(dir, segName(3, sealedExt))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stats, seqs, _ := openCollecting(t, dir, WALOptions{SegmentBytes: 1})
+	if stats.Records != 5 || stats.SkippedEvents != 1 {
+		t.Fatalf("replay = %+v, want 5 records and 1 corruption site", stats)
+	}
+	wantSeqs := []uint64{1, 2, 4, 5, 6}
+	for i, s := range seqs {
+		if s != wantSeqs[i] {
+			t.Fatalf("replayed seqs = %v, want %v", seqs, wantSeqs)
+		}
+	}
+}
+
+func TestWALStickyFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultFS{inner: osFS{}}
+	w, _, _, _ := openCollecting(t, dir, WALOptions{FS: ffs})
+	if _, err := w.Append(testRecord(0)); err != nil {
+		t.Fatalf("Append before fault: %v", err)
+	}
+	ffs.failNow("write")
+	if _, err := w.Append(testRecord(1)); err == nil {
+		t.Fatal("Append during fault succeeded")
+	}
+	ffs.heal()
+	// The failure must stick even though the disk recovered: the caller
+	// cannot know what state the file is in.
+	if _, err := w.Append(testRecord(2)); err == nil {
+		t.Fatal("Append after fault succeeded; WAL failure must be sticky")
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("Sync after fault succeeded; WAL failure must be sticky")
+	}
+}
+
+func TestWALCloseSealsActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _, _ := openCollecting(t, dir, WALOptions{})
+	if _, err := w.Append(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countFiles(t, dir, openExt); got != 0 {
+		t.Fatalf("open segments after Close = %d, want 0", got)
+	}
+	if _, err := w.Append(testRecord(1)); err != ErrWALClosed {
+		t.Fatalf("Append after Close = %v, want ErrWALClosed", err)
+	}
+}
+
+func countFiles(t *testing.T, dir, ext string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ext) {
+			n++
+		}
+	}
+	return n
+}
+
+func singleFile(t *testing.T, dir, ext string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var match string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ext) {
+			if match != "" {
+				t.Fatalf("multiple %s files in %s", ext, dir)
+			}
+			match = filepath.Join(dir, e.Name())
+		}
+	}
+	if match == "" {
+		t.Fatalf("no %s file in %s", ext, dir)
+	}
+	return match
+}
+
+// FuzzWALReplay feeds arbitrary bytes to recovery as a WAL segment: no
+// input may panic it, refuse to boot, or leave the log unusable for new
+// appends.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x13, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef})
+	// A genuine frame as a seed: append one record and read the bytes back.
+	seed := f.TempDir()
+	w, _, err := OpenWAL(seed, func(uint64, Record) error { return nil },
+		WALOptions{Logger: discardLogger()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := w.Append(testRecord(1)); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	entries, err := os.ReadDir(seed)
+	if err != nil || len(entries) != 1 {
+		f.Fatalf("seed segment: %v (%d entries)", err, len(entries))
+	}
+	frame, err := os.ReadFile(filepath.Join(seed, entries[0].Name()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame)
+	f.Add(append(frame[:len(frame)-1], frame[len(frame)-1]^0x01))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1, openExt)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, stats, err := OpenWAL(dir, func(seq uint64, rec Record) error { return nil },
+			WALOptions{Logger: discardLogger()})
+		if err != nil {
+			t.Fatalf("OpenWAL refused arbitrary segment: %v", err)
+		}
+		// Whatever survived, the log must accept and recover new appends.
+		seq, err := w.Append(testRecord(2))
+		if err != nil {
+			t.Fatalf("Append after fuzzed replay: %v", err)
+		}
+		if seq != stats.LastSeq+1 {
+			t.Fatalf("append seq %d does not follow recovered last seq %d", seq, stats.LastSeq)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		_, stats2, err := OpenWAL(dir, func(uint64, Record) error { return nil },
+			WALOptions{Logger: discardLogger()})
+		if err != nil {
+			t.Fatalf("reopen after repair: %v", err)
+		}
+		if stats2.LastSeq != seq {
+			t.Fatalf("reopen lost the appended record: last seq %d, want %d", stats2.LastSeq, seq)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"sort"
@@ -60,6 +61,11 @@ const (
 	// MetricRegionLoadSeconds times each cold load from disk (world +
 	// model read, summarizer construction), successful or not.
 	MetricRegionLoadSeconds = "region_model_load_seconds"
+	// MetricRegionLoadRetries counts cold-load attempts retried after a
+	// transient I/O failure (a momentary disk hiccup); deterministic
+	// failures — missing, corrupt or mismatched model files — are never
+	// retried.
+	MetricRegionLoadRetries = "region_model_load_retries_total"
 	// MetricRegionsDiscovered is the number of regions found at startup
 	// (a gauge, constant after Open).
 	MetricRegionsDiscovered = "regions_discovered"
@@ -171,6 +177,10 @@ type cell struct {
 	state     atomic.Pointer[cellState]
 	lastUse   atomic.Int64 // registry clock tick of last resolve
 	reloading atomic.Bool  // single-flight guard for TriggerReload
+	// loadFailed remembers that the most recent load attempt failed (and
+	// no state is serving), so /readyz?verbose=1 can distinguish a
+	// region that is merely cold from one that is broken.
+	loadFailed atomic.Bool
 }
 
 // Registry is the keyed map of region cells. Region resolution and
@@ -370,6 +380,51 @@ func (r *Registry) ReadyCount() int {
 	return n
 }
 
+// RegionMetrics returns the named region's own metrics registry — the
+// persistent per-region registry that survives evictions and reloads
+// (the ingestion layer records its counters here so they show under the
+// region's key in GET /metrics). It returns nil for unknown regions.
+func (r *Registry) RegionMetrics(name string) *metrics.Registry {
+	c, ok := r.cells[name]
+	if !ok {
+		return nil
+	}
+	return c.mx
+}
+
+// RegionStatus is one region's serving state for /readyz?verbose=1.
+type RegionStatus struct {
+	// Region is the region key.
+	Region string `json:"region"`
+	// State is "loaded" (model serving), "cold" (not loaded yet, will
+	// load lazily) or "failed" (most recent load attempt failed and
+	// nothing is serving).
+	State string `json:"state"`
+	// ModelVersion is the serving model's version, 0 unless loaded.
+	ModelVersion uint64 `json:"model_version,omitempty"`
+}
+
+// Status reports every region's serving state in key order, so
+// operators can see which city is degraded rather than only the
+// fleet-level ready count.
+func (r *Registry) Status() []RegionStatus {
+	out := make([]RegionStatus, 0, len(r.names))
+	for _, name := range r.names {
+		c := r.cells[name]
+		rs := RegionStatus{Region: name, State: "cold"}
+		if st := c.state.Load(); st != nil {
+			rs.State = "loaded"
+			if m := st.s.Model(); m != nil {
+				rs.ModelVersion = m.Version()
+			}
+		} else if c.loadFailed.Load() {
+			rs.State = "failed"
+		}
+		out = append(out, rs)
+	}
+	return out
+}
+
 // Loaded reports whether the region currently holds a loaded model.
 func (r *Registry) Loaded(name string) bool {
 	c, ok := r.cells[name]
@@ -423,22 +478,22 @@ func (r *Registry) load(c *cell) (*stmaker.Summarizer, error) {
 		return st.s, nil
 	}
 	t0 := time.Now()
-	st, err := r.loadFromDisk(c)
+	st, err := r.loadWithRetry(c)
 	c.mx.Histogram(MetricRegionLoadSeconds).ObserveSince(t0)
 	if err != nil {
 		c.mx.Counter(MetricRegionLoadFailures).Inc()
+		c.loadFailed.Store(true)
 		r.log.Error("region load failed", "region", c.name, "error", err)
 		// Pass the classified sentinels (model missing / corrupt /
 		// mismatched) through for the server's status map; everything
 		// else becomes the retriable ErrRegionUnavailable.
-		if !errors.Is(err, stmaker.ErrModelNotFound) &&
-			!errors.Is(err, stmaker.ErrInvalidModel) &&
-			!errors.Is(err, stmaker.ErrModelMismatch) {
+		if transientLoadError(err) {
 			err = fmt.Errorf("%w: %v", ErrRegionUnavailable, err)
 		}
 		return nil, fmt.Errorf("registry: region %q: %w", c.name, err)
 	}
 	c.mx.Counter(MetricRegionLoads).Inc()
+	c.loadFailed.Store(false)
 
 	r.budgetMu.Lock()
 	c.state.Store(st)
@@ -458,6 +513,46 @@ func (r *Registry) load(c *cell) (*stmaker.Summarizer, error) {
 		"duration", time.Since(t0),
 	)
 	return st.s, nil
+}
+
+// Cold-load retry policy: a momentary disk hiccup (NFS blip, contended
+// I/O) should not surface as an immediate 503 to the request that paid
+// the cold load, so transient failures get a couple of quick retries
+// with jittered backoff. Deterministic failures — a missing, corrupt or
+// mismatched model file — retry never, because re-reading the same bytes
+// cannot help.
+const (
+	coldLoadAttempts    = 3
+	coldLoadBackoffBase = 50 * time.Millisecond
+)
+
+// transientLoadError reports whether a load failure is worth retrying:
+// anything except the deterministic model-file sentinels.
+func transientLoadError(err error) bool {
+	return !errors.Is(err, stmaker.ErrModelNotFound) &&
+		!errors.Is(err, stmaker.ErrInvalidModel) &&
+		!errors.Is(err, stmaker.ErrModelMismatch)
+}
+
+// loadWithRetry wraps loadFromDisk in the retry policy, counting each
+// retry in region_model_load_retries_total.
+func (r *Registry) loadWithRetry(c *cell) (*cellState, error) {
+	var st *cellState
+	var err error
+	for attempt := 1; ; attempt++ {
+		st, err = r.loadFromDisk(c)
+		if err == nil || attempt >= coldLoadAttempts || !transientLoadError(err) {
+			return st, err
+		}
+		// Exponential backoff with full jitter keeps a burst of cold
+		// requests from hammering a struggling disk in lockstep.
+		backoff := coldLoadBackoffBase << (attempt - 1)
+		backoff += time.Duration(rand.Int64N(int64(backoff)))
+		c.mx.Counter(MetricRegionLoadRetries).Inc()
+		r.log.Warn("region load failed transiently; retrying",
+			"region", c.name, "attempt", attempt, "backoff", backoff, "error", err)
+		time.Sleep(backoff)
+	}
 }
 
 // loadFromDisk reads the region's world, builds its summarizer and

@@ -1,0 +1,117 @@
+package registry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stmaker"
+)
+
+// TestColdLoadRetriesTransientFailures pins the cold-load retry policy:
+// a transient I/O failure (here, a world file that momentarily cannot
+// be opened) is retried with backoff and counted, and a later attempt
+// over a healed disk succeeds without rebuilding the registry.
+func TestColdLoadRetriesTransientFailures(t *testing.T) {
+	dir := t.TempDir()
+	src, regions := twoRegionDir(t)
+	copyRegion(t, src, dir, regions[0].name, "flaky")
+	worldFile := filepath.Join(dir, "flaky", "world.json")
+	world, err := os.ReadFile(worldFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(worldFile); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Summarizer("flaky"); !errors.Is(err, ErrRegionUnavailable) {
+		t.Fatalf("Summarizer over missing world = %v, want ErrRegionUnavailable", err)
+	}
+	// Two retries: three attempts total, the first not counted as a retry.
+	if got := r.RegionMetrics("flaky").Counter(MetricRegionLoadRetries).Value(); got != coldLoadAttempts-1 {
+		t.Fatalf("%s = %d, want %d", MetricRegionLoadRetries, got, coldLoadAttempts-1)
+	}
+	if st := statusOf(t, r, "flaky"); st.State != "failed" {
+		t.Fatalf("status after failed load = %q, want failed", st.State)
+	}
+
+	// The disk heals; the next request pays a fresh cold load and wins.
+	if err := os.WriteFile(worldFile, world, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Summarizer("flaky"); err != nil {
+		t.Fatalf("Summarizer after heal: %v", err)
+	}
+	st := statusOf(t, r, "flaky")
+	if st.State != "loaded" || st.ModelVersion == 0 {
+		t.Fatalf("status after heal = %+v, want loaded with a model version", st)
+	}
+}
+
+// TestColdLoadDeterministicFailuresNeverRetry pins the other half of
+// the policy: a missing or corrupt model file is a deterministic
+// failure, so re-reading the same bytes is pointless and the retry
+// counter must stay at zero.
+func TestColdLoadDeterministicFailuresNeverRetry(t *testing.T) {
+	dir := t.TempDir()
+	src, regions := twoRegionDir(t)
+	copyRegion(t, src, dir, regions[0].name, "corrupt")
+	if err := os.WriteFile(filepath.Join(dir, "corrupt", "model.stm"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Summarizer("corrupt"); !errors.Is(err, stmaker.ErrInvalidModel) {
+		t.Fatalf("Summarizer over corrupt model = %v, want ErrInvalidModel", err)
+	}
+	if got := r.RegionMetrics("corrupt").Counter(MetricRegionLoadRetries).Value(); got != 0 {
+		t.Fatalf("%s = %d, want 0 (deterministic failures retry never)", MetricRegionLoadRetries, got)
+	}
+	if st := statusOf(t, r, "corrupt"); st.State != "failed" {
+		t.Fatalf("status = %q, want failed", st.State)
+	}
+}
+
+// TestStatusReportsPerRegionState pins the /readyz?verbose=1 source:
+// cold before any load, loaded with a model version after one.
+func TestStatusReportsPerRegionState(t *testing.T) {
+	dir, regions := twoRegionDir(t)
+	r, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range r.Status() {
+		if st.State != "cold" || st.ModelVersion != 0 {
+			t.Fatalf("pre-load status = %+v, want cold", st)
+		}
+	}
+	if _, err := r.Summarizer(regions[0].name); err != nil {
+		t.Fatal(err)
+	}
+	st := statusOf(t, r, regions[0].name)
+	if st.State != "loaded" || st.ModelVersion == 0 {
+		t.Fatalf("post-load status = %+v, want loaded with a version", st)
+	}
+	if other := statusOf(t, r, regions[1].name); other.State != "cold" {
+		t.Fatalf("untouched region status = %+v, want cold", other)
+	}
+}
+
+func statusOf(t *testing.T, r *Registry, name string) RegionStatus {
+	t.Helper()
+	for _, st := range r.Status() {
+		if st.Region == name {
+			return st
+		}
+	}
+	t.Fatalf("region %q missing from Status()", name)
+	return RegionStatus{}
+}

@@ -110,29 +110,34 @@ func writeTestRegion(dir, name string, origin geo.Point, seed int64) (testRegion
 // the harness.
 func multiRegionDir(t *testing.T) (string, []testRegion) {
 	t.Helper()
-	multiOnce.Do(func() {
-		dir, err := os.MkdirTemp("", "server-region-test-*")
-		if err != nil {
-			multiErr = err
-			return
-		}
-		multiDir = dir
-		bj, err := writeTestRegion(dir, "beijing", geo.Point{Lat: 39.80, Lng: 116.25}, 301)
-		if err != nil {
-			multiErr = err
-			return
-		}
-		sh, err := writeTestRegion(dir, "shanghai", geo.Point{Lat: 31.10, Lng: 121.20}, 402)
-		if err != nil {
-			multiErr = err
-			return
-		}
-		multiRegions = []testRegion{bj, sh}
-	})
+	multiOnce.Do(buildMultiRegionFixture)
 	if multiErr != nil {
 		t.Fatal(multiErr)
 	}
 	return multiDir, multiRegions
+}
+
+// buildMultiRegionFixture is the multiOnce body, split out so fuzz
+// targets (which hold a *testing.F, not a *testing.T) can share the
+// fixture.
+func buildMultiRegionFixture() {
+	dir, err := os.MkdirTemp("", "server-region-test-*")
+	if err != nil {
+		multiErr = err
+		return
+	}
+	multiDir = dir
+	bj, err := writeTestRegion(dir, "beijing", geo.Point{Lat: 39.80, Lng: 116.25}, 301)
+	if err != nil {
+		multiErr = err
+		return
+	}
+	sh, err := writeTestRegion(dir, "shanghai", geo.Point{Lat: 31.10, Lng: 121.20}, 402)
+	if err != nil {
+		multiErr = err
+		return
+	}
+	multiRegions = []testRegion{bj, sh}
 }
 
 // multiServer builds a fresh multi-region server over the shared

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"stmaker"
+	"stmaker/internal/ingest"
 	"stmaker/internal/metrics"
 	"stmaker/internal/registry"
 	"stmaker/internal/traj"
@@ -64,6 +65,9 @@ type Server struct {
 	ready atomic.Bool
 	// reloading makes model reloads single-flight (see TriggerReload).
 	reloading atomic.Bool
+	// ingest is the streaming-ingestion service (nil unless
+	// Options.Ingest was set).
+	ingest *ingest.Service
 	// limiter is the in-flight semaphore for non-infrastructure routes;
 	// nil means unlimited.
 	limiter chan struct{}
@@ -105,6 +109,14 @@ type Options struct {
 	// cmd/stmakerd) and meant to stay behind the operator's network
 	// boundary.
 	EnableAdmin bool
+	// Ingest, when non-nil, mounts POST /ingest: a crash-safe NDJSON
+	// streaming endpoint that WAL-appends GPS fixes before acknowledging
+	// and folds closed trips into the region's knowledge (see
+	// internal/ingest and the -ingest-dir flag of cmd/stmakerd). The
+	// server builds the ingest.Service against its own region registry;
+	// regions with ingest state on disk are recovered during New. Use
+	// Server.Ingest to reach the service (compaction loop, shutdown).
+	Ingest *ingest.ServiceOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -147,7 +159,7 @@ func NewWithOptions(s *stmaker.Summarizer, opts Options) (*Server, error) {
 		Logger:  opts.Logger,
 		Metrics: s.Metrics(),
 	})
-	return newServer(s, reg, opts), nil
+	return newServer(s, reg, opts)
 }
 
 // NewMultiRegion builds a server over a multi-region registry (see
@@ -161,10 +173,10 @@ func NewMultiRegion(reg *registry.Registry, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: registry is required")
 	}
 	opts = opts.withDefaults()
-	return newServer(nil, reg, opts), nil
+	return newServer(nil, reg, opts)
 }
 
-func newServer(s *stmaker.Summarizer, reg *registry.Registry, opts Options) *Server {
+func newServer(s *stmaker.Summarizer, reg *registry.Registry, opts Options) (*Server, error) {
 	srv := &Server{
 		s:      s,
 		reg:    reg,
@@ -178,6 +190,14 @@ func newServer(s *stmaker.Summarizer, reg *registry.Registry, opts Options) *Ser
 	}
 	srv.ready.Store(true)
 	srv.mux.HandleFunc("/summarize", srv.handleSummarize)
+	if opts.Ingest != nil {
+		svc, err := ingest.NewService(reg, *opts.Ingest)
+		if err != nil {
+			return nil, fmt.Errorf("server: ingest: %w", err)
+		}
+		srv.ingest = svc
+		srv.mux.HandleFunc("/ingest", srv.handleIngest)
+	}
 	srv.mux.HandleFunc("/healthz", srv.handleHealth)
 	srv.mux.HandleFunc("/readyz", srv.handleReady)
 	srv.mux.HandleFunc("/metrics", srv.handleMetrics)
@@ -195,8 +215,13 @@ func newServer(s *stmaker.Summarizer, reg *registry.Registry, opts Options) *Ser
 	// (including shed 503s and recovered 500s), recover catches panics
 	// from the limiter inward, the limiter sheds before any work starts.
 	srv.handler = srv.observe(srv.recoverPanics(srv.limit(srv.mux)))
-	return srv
+	return srv, nil
 }
+
+// Ingest exposes the streaming-ingestion service, nil unless
+// Options.Ingest was set. cmd/stmakerd starts its compaction loop
+// (Service.Run) alongside the listener and closes it after drain.
+func (srv *Server) Ingest() *ingest.Service { return srv.ingest }
 
 // Handle mounts an additional handler behind the server's full middleware
 // chain (metrics, logging, panic recovery, load shedding). It must be
@@ -277,21 +302,46 @@ func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // region yet) and 503 again once a drain has begun (or SetReady(false)
 // was called), so load balancers only route work here when it can
 // actually be answered.
+// With ?verbose=1 the plain-text probe becomes a JSON report carrying
+// every region's state (loaded/cold/failed) and serving model version,
+// so operators can see which city is degraded; the status code keeps
+// the same contract either way. docs/API.md documents the shape.
 func (srv *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	if !srv.ready.Load() {
+	draining := !srv.ready.Load()
+	ready := !draining && srv.reg.ReadyCount() > 0
+	if r.URL.Query().Get("verbose") != "" {
+		code := http.StatusOK
+		if !ready {
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		body := ReadyResponse{Ready: ready, Draining: draining, Regions: srv.reg.Status()}
+		if err := json.NewEncoder(w).Encode(body); err != nil {
+			srv.logger.Error("readyz encode failed", "error", err)
+		}
+		return
+	}
+	switch {
+	case draining:
 		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
-	if srv.reg.ReadyCount() == 0 {
+	case !ready:
 		http.Error(w, "no model published yet", http.StatusServiceUnavailable)
-		return
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
 	}
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+}
+
+// ReadyResponse is the GET /readyz?verbose=1 body.
+type ReadyResponse struct {
+	Ready    bool                    `json:"ready"`
+	Draining bool                    `json:"draining,omitempty"`
+	Regions  []registry.RegionStatus `json:"regions"`
 }
 
 // statusForError maps a pipeline or region-resolution error to its HTTP

@@ -1,5 +1,5 @@
 # Tier-1 gate: every change must keep `make check` green.
-.PHONY: check build vet lint test bench bench-smoke fuzz-smoke ingest-soak
+.PHONY: check build vet lint test bench bench-smoke fuzz-smoke ingest-soak load-smoke
 
 check: build vet lint test
 
@@ -38,6 +38,13 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzParseManifest -fuzztime=15s ./internal/modelio
 	go test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=15s ./internal/ingest
 	go test -run='^$$' -fuzz=FuzzIngestNDJSON -fuzztime=15s ./internal/server
+
+# Short sustained-load smoke: drives a synthetic fleet through the real
+# HTTP serving path (single + batch endpoints mixed) and fails on any
+# 5xx, transport error, or empty run. Real measurements use a longer
+# -duration; see docs/PERFORMANCE.md "Sustained throughput".
+load-smoke:
+	go run ./cmd/stmaker-load -duration 2s -concurrency 2 -batch 4 -assert
 
 # End-to-end ingestion soak: a simulated fleet streamed through the real
 # HTTP ingest path with one crash/recovery cycle in the middle, asserting

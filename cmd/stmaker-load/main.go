@@ -1,0 +1,447 @@
+// Command stmaker-load drives sustained summarization traffic through
+// the real HTTP serving path and reports what the server sustained:
+// QPS, latency percentiles, error counts and allocation pressure. It is
+// the measurement harness behind BENCH_serving.json and the
+// "Sustained throughput" section of docs/PERFORMANCE.md.
+//
+// Usage:
+//
+//	stmaker-load [-duration 10s] [-concurrency 4] [-batch 8] [-mix 0.5]
+//	             [-url http://host:8080 [-workload fleet.json]]
+//	             [-rows 7] [-cols 7] [-seed 51] [-train 120] [-fleet 64]
+//	             [-json] [-assert]
+//
+// With no -url it runs in self mode: it synthesizes a city, trains a
+// summarizer, starts the real server on a loopback listener and load
+// tests it in-process — fully reproducible from -seed, no setup needed.
+// In self mode the report includes process-wide allocations per
+// summarized item (client + server; the client pre-encodes every
+// request body, so the server dominates).
+//
+// With -url it drives an already-running stmakerd. The workload should
+// come from a file written by `trajgen -fleet N` against the same
+// world the server loaded; without -workload it synthesizes trips from
+// the city flags, which only route correctly if they match the
+// server's world.
+//
+// Traffic mix: each request is a batch POST /summarize/batch of -batch
+// items with probability -mix, otherwise a single POST /summarize.
+// -mix 0 is single-only, -mix 1 batch-only, -batch 0 forces single.
+//
+// -json writes the machine-readable run record (the BENCH_serving.json
+// "run" object) to stdout instead of the human text. -assert exits
+// nonzero unless the run summarized at least one item with zero 5xx
+// and zero transport errors — the CI load-smoke gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"stmaker"
+	"stmaker/internal/hits"
+	"stmaker/internal/server"
+	"stmaker/internal/simulate"
+	"stmaker/internal/traj"
+	"stmaker/internal/worldio"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "", "target server base URL (default: self mode, in-process server)")
+		workload    = flag.String("workload", "", "trips file from `trajgen -fleet N` (default: synthesize from city flags)")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to sustain load")
+		concurrency = flag.Int("concurrency", 4, "concurrent client workers")
+		batchSize   = flag.Int("batch", 8, "items per batch request (0 disables batch traffic)")
+		mix         = flag.Float64("mix", 0.5, "fraction of requests that are batches (0..1)")
+		rows        = flag.Int("rows", 7, "self mode: city grid rows")
+		cols        = flag.Int("cols", 7, "self mode: city grid columns")
+		seed        = flag.Int64("seed", 51, "self mode: world + workload seed")
+		trainN      = flag.Int("train", 120, "self mode: training trips")
+		fleetN      = flag.Int("fleet", 64, "synthesized workload trips (when no -workload)")
+		hmm         = flag.Bool("hmm", false, "self mode: serve with HMM map matching")
+		jsonOut     = flag.Bool("json", false, "emit the run record as JSON to stdout")
+		assert      = flag.Bool("assert", false, "exit nonzero unless items > 0 and zero 5xx/transport errors")
+	)
+	flag.Parse()
+	if *concurrency < 1 || *duration <= 0 || *mix < 0 || *mix > 1 || *batchSize < 0 {
+		fatal(fmt.Errorf("invalid flags: concurrency >= 1, duration > 0, 0 <= mix <= 1, batch >= 0"))
+	}
+	if *batchSize == 0 {
+		*mix = 0
+	}
+
+	city := simulate.NewCity(simulate.CityOptions{Rows: *rows, Cols: *cols, Seed: *seed})
+
+	base := *url
+	selfMode := base == ""
+	if selfMode {
+		ts, err := startSelfServer(city, *seed, *trainN, *hmm)
+		if err != nil {
+			fatal(err)
+		}
+		defer ts.Close()
+		base = ts.URL
+	}
+
+	trips, err := loadWorkload(*workload, city, *seed, *fleetN)
+	if err != nil {
+		fatal(err)
+	}
+	singles, batches, err := encodeBodies(trips, *batchSize)
+	if err != nil {
+		fatal(err)
+	}
+
+	r := run(runConfig{
+		base: base, singles: singles, batches: batches,
+		batchSize: *batchSize, mix: *mix,
+		concurrency: *concurrency, duration: *duration,
+		seed: *seed, measureAllocs: selfMode,
+	})
+	r.Config = configRecord{
+		Mode:        map[bool]string{true: "self", false: "url"}[selfMode],
+		Concurrency: *concurrency, DurationSeconds: duration.Seconds(),
+		Batch: *batchSize, Mix: *mix, Seed: *seed,
+		Workload: len(trips), HMM: *hmm,
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fatal(err)
+		}
+	} else {
+		printReport(r)
+	}
+
+	if *assert {
+		switch {
+		case r.Items == 0:
+			fatal(fmt.Errorf("assert: zero items summarized"))
+		case r.Errors.HTTP5xx > 0:
+			fatal(fmt.Errorf("assert: %d 5xx responses", r.Errors.HTTP5xx))
+		case r.Errors.Transport > 0:
+			fatal(fmt.Errorf("assert: %d transport errors", r.Errors.Transport))
+		}
+	}
+}
+
+// startSelfServer builds the trained in-process server on a loopback
+// listener, the same construction stmakerd single-region mode uses.
+func startSelfServer(city *simulate.City, seed int64, trainN int, hmm bool) (*httptest.Server, error) {
+	checkins := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: seed + 1})
+	city.Landmarks.InferSignificance(200, checkins, hits.Options{})
+	s, err := stmaker.New(stmaker.Config{
+		Graph: city.Graph, Landmarks: city.Landmarks, UseHMMMatching: hmm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fleet := simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: trainN, Seed: seed + 2, FixedHour: -1, Calm: true,
+	})
+	corpus := make([]*traj.Raw, 0, len(fleet))
+	for _, tr := range fleet {
+		corpus = append(corpus, tr.Raw)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		return nil, err
+	}
+	srv, err := server.NewWithOptions(s, server.Options{Logger: server.DiscardLogger()})
+	if err != nil {
+		return nil, err
+	}
+	return httptest.NewServer(srv), nil
+}
+
+// loadWorkload reads the trips file, or synthesizes the workload fleet
+// with the same seed offset trajgen -fleet uses, so self runs and
+// file-driven runs of the same seed serve the same trips.
+func loadWorkload(path string, city *simulate.City, seed int64, n int) ([]*traj.Raw, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		trips, err := worldio.LoadTrips(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(trips) == 0 {
+			return nil, fmt.Errorf("%s: empty workload", path)
+		}
+		return trips, nil
+	}
+	fleet := simulate.GenerateFleet(city, simulate.FleetOptions{
+		NumTrips: n, Seed: seed + 4, FixedHour: -1,
+	})
+	trips := make([]*traj.Raw, 0, len(fleet))
+	for _, tr := range fleet {
+		trips = append(trips, tr.Raw)
+	}
+	return trips, nil
+}
+
+// encodeBodies pre-marshals every request body once so the measured
+// loop spends its time in the server, not in client-side encoding.
+func encodeBodies(trips []*traj.Raw, batchSize int) (singles, batches [][]byte, err error) {
+	singles = make([][]byte, 0, len(trips))
+	for _, tr := range trips {
+		b, err := json.Marshal(server.SummarizeRequest{Trajectory: tr})
+		if err != nil {
+			return nil, nil, err
+		}
+		singles = append(singles, b)
+	}
+	if batchSize > 0 {
+		for start := 0; start < len(trips); start += batchSize {
+			end := start + batchSize
+			if end > len(trips) {
+				end = len(trips)
+			}
+			items := make([]server.SummarizeRequest, 0, end-start)
+			for _, tr := range trips[start:end] {
+				items = append(items, server.SummarizeRequest{Trajectory: tr})
+			}
+			b, err := json.Marshal(server.BatchRequest{Items: items})
+			if err != nil {
+				return nil, nil, err
+			}
+			batches = append(batches, b)
+		}
+	}
+	return singles, batches, nil
+}
+
+type runConfig struct {
+	base             string
+	singles, batches [][]byte
+	batchSize        int
+	mix              float64
+	concurrency      int
+	duration         time.Duration
+	seed             int64
+	measureAllocs    bool
+}
+
+type configRecord struct {
+	Mode            string  `json:"mode"`
+	Concurrency     int     `json:"concurrency"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Batch           int     `json:"batch"`
+	Mix             float64 `json:"mix"`
+	Seed            int64   `json:"seed"`
+	Workload        int     `json:"workload_trips"`
+	HMM             bool    `json:"hmm"`
+}
+
+type latencyRecord struct {
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+type errorRecord struct {
+	HTTP4xx   int64 `json:"http_4xx"`
+	HTTP5xx   int64 `json:"http_5xx"`
+	Transport int64 `json:"transport"`
+	Items     int64 `json:"item_errors"`
+}
+
+// report is the machine-readable run record; BENCH_serving.json holds
+// before/after pairs of these.
+type report struct {
+	Config        configRecord  `json:"config"`
+	ElapsedSec    float64       `json:"elapsed_seconds"`
+	Requests      int64         `json:"requests"`
+	Items         int64         `json:"items"`
+	QPS           float64       `json:"requests_per_sec"`
+	ItemsPerSec   float64       `json:"items_per_sec"`
+	Single        latencyRecord `json:"single_latency"`
+	Batch         latencyRecord `json:"batch_latency"`
+	Errors        errorRecord   `json:"errors"`
+	AllocsPerItem float64       `json:"allocs_per_item,omitempty"`
+	BytesPerItem  float64       `json:"bytes_per_item,omitempty"`
+}
+
+// workerStats is one worker's private tally, merged after the run so
+// the hot loop shares nothing.
+type workerStats struct {
+	singleNs, batchNs []float64
+	items             int64
+	errs              errorRecord
+}
+
+func run(cfg runConfig) report {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.concurrency * 2,
+		MaxIdleConnsPerHost: cfg.concurrency * 2,
+	}}
+	singleURL := cfg.base + "/summarize"
+	batchURL := cfg.base + "/summarize/batch"
+
+	var before, after runtime.MemStats
+	if cfg.measureAllocs {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+	}
+
+	deadline := time.Now().Add(cfg.duration)
+	stats := make([]workerStats, cfg.concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+			for time.Now().Before(deadline) {
+				if cfg.mix > 0 && rng.Float64() < cfg.mix {
+					body := cfg.batches[rng.Intn(len(cfg.batches))]
+					ns, items, itemErrs, status, err := post(client, batchURL, body, true)
+					st.record(ns, items, itemErrs, status, err, &st.batchNs)
+				} else {
+					body := cfg.singles[rng.Intn(len(cfg.singles))]
+					ns, items, itemErrs, status, err := post(client, singleURL, body, false)
+					st.record(ns, items, itemErrs, status, err, &st.singleNs)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if cfg.measureAllocs {
+		runtime.ReadMemStats(&after)
+	}
+
+	var merged workerStats
+	for i := range stats {
+		merged.singleNs = append(merged.singleNs, stats[i].singleNs...)
+		merged.batchNs = append(merged.batchNs, stats[i].batchNs...)
+		merged.items += stats[i].items
+		merged.errs.HTTP4xx += stats[i].errs.HTTP4xx
+		merged.errs.HTTP5xx += stats[i].errs.HTTP5xx
+		merged.errs.Transport += stats[i].errs.Transport
+		merged.errs.Items += stats[i].errs.Items
+	}
+	requests := int64(len(merged.singleNs) + len(merged.batchNs))
+	r := report{
+		ElapsedSec:  elapsed.Seconds(),
+		Requests:    requests,
+		Items:       merged.items,
+		QPS:         float64(requests) / elapsed.Seconds(),
+		ItemsPerSec: float64(merged.items) / elapsed.Seconds(),
+		Single:      percentiles(merged.singleNs),
+		Batch:       percentiles(merged.batchNs),
+		Errors:      merged.errs,
+	}
+	if cfg.measureAllocs && merged.items > 0 {
+		r.AllocsPerItem = float64(after.Mallocs-before.Mallocs) / float64(merged.items)
+		r.BytesPerItem = float64(after.TotalAlloc-before.TotalAlloc) / float64(merged.items)
+	}
+	return r
+}
+
+func (st *workerStats) record(ns float64, items, itemErrs int64, status int, err error, lat *[]float64) {
+	if err != nil {
+		st.errs.Transport++
+		return
+	}
+	*lat = append(*lat, ns)
+	switch {
+	case status >= 500:
+		st.errs.HTTP5xx++
+	case status >= 400:
+		st.errs.HTTP4xx++
+	default:
+		st.items += items
+		st.errs.Items += itemErrs
+	}
+}
+
+// post issues one request and scans the response. For a batch the item
+// count and inline errors are counted with a byte scan instead of a
+// JSON decode, keeping the client cheap relative to the server.
+func post(client *http.Client, url string, body []byte, batch bool) (ns float64, items, itemErrs int64, status int, err error) {
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	ns = float64(time.Since(t0).Nanoseconds())
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	items, itemErrs = 1, 0
+	if batch {
+		// Every element carries "id"; failed elements carry a non-empty
+		// "error". Both markers are absent from trajectory payloads
+		// because responses never echo the input.
+		items = int64(bytes.Count(data, []byte(`"id":`)))
+		itemErrs = int64(bytes.Count(data, []byte(`"error":"`)))
+		items -= itemErrs // failed elements are not summarized items
+	}
+	return ns, items, itemErrs, resp.StatusCode, nil
+}
+
+func percentiles(ns []float64) latencyRecord {
+	if len(ns) == 0 {
+		return latencyRecord{}
+	}
+	sort.Float64s(ns)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ns)-1))
+		return ns[i] / 1e6
+	}
+	return latencyRecord{
+		Requests: len(ns),
+		P50Ms:    at(0.50), P95Ms: at(0.95), P99Ms: at(0.99),
+		MaxMs: ns[len(ns)-1] / 1e6,
+	}
+}
+
+func printReport(r report) {
+	fmt.Printf("mode %s | concurrency %d | duration %.1fs | batch %d | mix %.2f | workload %d trips\n",
+		r.Config.Mode, r.Config.Concurrency, r.ElapsedSec, r.Config.Batch, r.Config.Mix, r.Config.Workload)
+	fmt.Printf("requests %d (%.1f req/s)   items %d (%.1f items/s)\n",
+		r.Requests, r.QPS, r.Items, r.ItemsPerSec)
+	if r.Single.Requests > 0 {
+		fmt.Printf("single  p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms  (%d requests)\n",
+			r.Single.P50Ms, r.Single.P95Ms, r.Single.P99Ms, r.Single.MaxMs, r.Single.Requests)
+	}
+	if r.Batch.Requests > 0 {
+		fmt.Printf("batch   p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms  (%d requests)\n",
+			r.Batch.P50Ms, r.Batch.P95Ms, r.Batch.P99Ms, r.Batch.MaxMs, r.Batch.Requests)
+	}
+	fmt.Printf("errors  4xx %d  5xx %d  transport %d  item %d\n",
+		r.Errors.HTTP4xx, r.Errors.HTTP5xx, r.Errors.Transport, r.Errors.Items)
+	if r.AllocsPerItem > 0 {
+		fmt.Printf("allocs/item %.0f   bytes/item %.0f   (process-wide: client + in-process server)\n",
+			r.AllocsPerItem, r.BytesPerItem)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stmaker-load:", err)
+	os.Exit(1)
+}

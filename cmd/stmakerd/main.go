@@ -84,16 +84,19 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
 		logFormat   = flag.String("log", "text", "log format: text or json")
-		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes (413 beyond; <0 disables)")
+		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes (413 beyond; <0 disables); the batch endpoint allows 16x")
 		maxInflight = flag.Int("max-inflight", 256, "max concurrently-handled requests (503 beyond; 0 disables)")
-		timeout     = flag.Duration("timeout", 30*time.Second, "per-request pipeline deadline (504 beyond; 0 disables)")
-		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
-		noSanitize  = flag.Bool("no-sanitize", false, "disable input repair (sanitization) before calibration")
-		useHMM      = flag.Bool("hmm", false, "use HMM (Viterbi) map matching for routing features")
-		spCache     = flag.Int("sp-cache", 0, "shortest-path cache entries for HMM matching (0 default, <0 disables)")
-		modelDir    = flag.String("model-dir", "", "serve every region under this directory (multi-region mode)")
-		modelBudget = flag.Int64("model-budget", 0, "memory budget in bytes for loaded region models (LRU eviction beyond; 0 unlimited)")
-		preload     = flag.String("preload", "auto", "regions to load at boot: auto (first loadable), none, all, or a comma-separated list")
+
+		batchWorkers = flag.Int("batch-workers", 0, "worker pool size per POST /summarize/batch request (0 = GOMAXPROCS)")
+		maxBatch     = flag.Int("max-batch", server.DefaultMaxBatchItems, "max items per batch request (413 beyond; <0 disables)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request pipeline deadline (504 beyond; 0 disables)")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		noSanitize   = flag.Bool("no-sanitize", false, "disable input repair (sanitization) before calibration")
+		useHMM       = flag.Bool("hmm", false, "use HMM (Viterbi) map matching for routing features")
+		spCache      = flag.Int("sp-cache", 0, "shortest-path cache entries for HMM matching (0 default, <0 disables)")
+		modelDir     = flag.String("model-dir", "", "serve every region under this directory (multi-region mode)")
+		modelBudget  = flag.Int64("model-budget", 0, "memory budget in bytes for loaded region models (LRU eviction beyond; 0 unlimited)")
+		preload      = flag.String("preload", "auto", "regions to load at boot: auto (first loadable), none, all, or a comma-separated list")
 
 		ingestDir     = flag.String("ingest-dir", "", "enable POST /ingest: per-region WAL directory for crash-safe streaming ingestion")
 		ingestBuffer  = flag.Int("ingest-buffer", 0, "max buffered open-trip fixes per region before ingest sheds with 429 (0 default)")
@@ -150,20 +153,22 @@ func main() {
 
 	if *modelDir != "" {
 		serveMultiRegion(logger, multiConfig{
-			dir:         *modelDir,
-			budget:      *modelBudget,
-			preload:     *preload,
-			ingest:      ingestOpts,
-			admin:       *adminOn,
-			addr:        *addr,
-			pprof:       *pprofOn,
-			maxBody:     *maxBody,
-			maxInflight: *maxInflight,
-			timeout:     *timeout,
-			drain:       *drain,
-			sanitize:    !*noSanitize,
-			hmm:         *useHMM,
-			spCache:     *spCache,
+			dir:          *modelDir,
+			budget:       *modelBudget,
+			preload:      *preload,
+			ingest:       ingestOpts,
+			admin:        *adminOn,
+			addr:         *addr,
+			pprof:        *pprofOn,
+			maxBody:      *maxBody,
+			maxInflight:  *maxInflight,
+			batchWorkers: *batchWorkers,
+			maxBatch:     *maxBatch,
+			timeout:      *timeout,
+			drain:        *drain,
+			sanitize:     !*noSanitize,
+			hmm:          *useHMM,
+			spCache:      *spCache,
 		})
 		return
 	}
@@ -258,6 +263,8 @@ func main() {
 		EnableAdmin:    *adminOn,
 		MaxBodyBytes:   *maxBody,
 		MaxInFlight:    *maxInflight,
+		BatchWorkers:   *batchWorkers,
+		MaxBatchItems:  *maxBatch,
 		RequestTimeout: *timeout,
 		Retrain:        retrain,
 		Ingest:         ingestOpts,
@@ -302,20 +309,22 @@ func main() {
 
 // multiConfig carries the resolved flags of multi-region mode.
 type multiConfig struct {
-	dir         string
-	budget      int64
-	preload     string
-	ingest      *ingest.ServiceOptions
-	admin       bool
-	addr        string
-	pprof       bool
-	maxBody     int64
-	maxInflight int
-	timeout     time.Duration
-	drain       time.Duration
-	sanitize    bool
-	hmm         bool
-	spCache     int
+	dir          string
+	budget       int64
+	preload      string
+	ingest       *ingest.ServiceOptions
+	admin        bool
+	addr         string
+	pprof        bool
+	maxBody      int64
+	maxInflight  int
+	batchWorkers int
+	maxBatch     int
+	timeout      time.Duration
+	drain        time.Duration
+	sanitize     bool
+	hmm          bool
+	spCache      int
 }
 
 // serveMultiRegion is the -model-dir serving path: discover regions,
@@ -373,6 +382,8 @@ func serveMultiRegion(logger *slog.Logger, cfg multiConfig) {
 		EnableAdmin:    cfg.admin,
 		MaxBodyBytes:   cfg.maxBody,
 		MaxInFlight:    cfg.maxInflight,
+		BatchWorkers:   cfg.batchWorkers,
+		MaxBatchItems:  cfg.maxBatch,
 		RequestTimeout: cfg.timeout,
 		Ingest:         cfg.ingest,
 	})

@@ -89,14 +89,14 @@ type Context struct {
 	MatchRadiusMeters float64
 
 	mu        sync.Mutex
-	edgeCache map[segKey][]*roadnet.Edge
+	edgeCache map[*traj.Symbolic][]segEdges
 }
 
-// segKey identifies a segment by the identity of its owning symbolic
-// trajectory (not its string ID, which callers may reuse) plus its index.
-type segKey struct {
-	traj  *traj.Symbolic
-	index int
+// segEdges is one segment's cached match result. done distinguishes
+// "matched, nothing found" from "never matched".
+type segEdges struct {
+	edges []*roadnet.Edge
+	done  bool
 }
 
 // NewContext builds a context over the given map resources.
@@ -106,24 +106,28 @@ func NewContext(g *roadnet.Graph, m *roadnet.Matcher, lms *landmark.Set) *Contex
 		Matcher:           m,
 		Landmarks:         lms,
 		MatchRadiusMeters: 150,
-		edgeCache:         make(map[segKey][]*roadnet.Edge),
+		edgeCache:         make(map[*traj.Symbolic][]segEdges),
 	}
 }
 
 // SegmentEdges map-matches each raw sample of the segment to its nearest
 // road edge and returns the per-sample edges (skipping unmatched samples).
-// Results are cached per (trajectory, segment).
+// Results are cached per (trajectory, segment); the trajectory's whole
+// entry is dropped by ReleaseEdges when its request finishes, so a
+// long-lived serving Context does not accumulate one entry per
+// trajectory it ever saw.
 func (ctx *Context) SegmentEdges(seg traj.Segment) []*roadnet.Edge {
 	if ctx.Matcher == nil {
 		return nil
 	}
-	key := segKey{traj: seg.Traj, index: seg.Index}
 	ctx.mu.Lock()
-	cached, ok := ctx.edgeCache[key]
-	ctx.mu.Unlock()
-	if ok {
-		return cached
+	row := ctx.edgeCache[seg.Traj]
+	if seg.Index < len(row) && row[seg.Index].done {
+		edges := row[seg.Index].edges
+		ctx.mu.Unlock()
+		return edges
 	}
+	ctx.mu.Unlock()
 	var edges []*roadnet.Edge
 	if ctx.HMM != nil {
 		samples := seg.RawSamples()
@@ -145,11 +149,29 @@ func (ctx *Context) SegmentEdges(seg traj.Segment) []*roadnet.Edge {
 	}
 	ctx.mu.Lock()
 	if ctx.edgeCache == nil {
-		ctx.edgeCache = make(map[segKey][]*roadnet.Edge)
+		ctx.edgeCache = make(map[*traj.Symbolic][]segEdges)
 	}
-	ctx.edgeCache[key] = edges
+	row = ctx.edgeCache[seg.Traj]
+	if len(row) <= seg.Index {
+		grown := make([]segEdges, seg.Traj.NumSegments())
+		copy(grown, row)
+		row = grown
+	}
+	row[seg.Index] = segEdges{edges: edges, done: true}
+	ctx.edgeCache[seg.Traj] = row
 	ctx.mu.Unlock()
 	return edges
+}
+
+// ReleaseEdges drops the trajectory's cached match results. Callers
+// that are done with a trajectory (a finished summarize request, a
+// trained-on corpus trajectory) release it so the shared Context's
+// cache stays bounded by the number of trajectories in flight; a
+// release is never unsafe, because a later lookup just re-matches.
+func (ctx *Context) ReleaseEdges(s *traj.Symbolic) {
+	ctx.mu.Lock()
+	delete(ctx.edgeCache, s)
+	ctx.mu.Unlock()
 }
 
 // Registry is an ordered collection of extractors. Order is significant:
@@ -241,6 +263,47 @@ func (r *Registry) ExtractAll(s *traj.Symbolic, ctx *Context) []Vector {
 	return out
 }
 
+// MatrixBuf is reusable backing storage for a feature matrix: the rows
+// are windows over one flat value slice, so an n-segment extraction
+// costs zero allocations once the buffer has grown to the workload's
+// trajectory size. A MatrixBuf serves one matrix at a time — reusing it
+// invalidates the previously returned rows — and is not safe for
+// concurrent use; the pipeline pools one per in-flight request.
+type MatrixBuf struct {
+	rows []Vector
+	flat []float64
+}
+
+// Matrix returns an n×dims matrix backed by the buffer.
+func (b *MatrixBuf) Matrix(n, dims int) []Vector {
+	if cap(b.flat) < n*dims {
+		b.flat = make([]float64, n*dims)
+	}
+	flat := b.flat[:n*dims:n*dims]
+	if cap(b.rows) < n {
+		b.rows = make([]Vector, n)
+	}
+	rows := b.rows[:n]
+	for i := range rows {
+		rows[i] = flat[i*dims : (i+1)*dims : (i+1)*dims]
+	}
+	b.flat, b.rows = flat, rows
+	return rows
+}
+
+// ExtractAllInto is ExtractAll against pooled backing storage: the
+// returned matrix is valid until the buffer's next use.
+func (r *Registry) ExtractAllInto(buf *MatrixBuf, s *traj.Symbolic, ctx *Context) []Vector {
+	out := buf.Matrix(s.NumSegments(), len(r.extractors))
+	for i := range out {
+		seg := s.Segment(i)
+		for j, e := range r.extractors {
+			out[i][j] = e.Extract(seg, ctx)
+		}
+	}
+	return out
+}
+
 // NormalizeByMax returns a copy of the matrix with each feature dimension
 // divided by its maximum absolute value across the matrix (§IV-B: "the
 // normalizing constant of f is the biggest feature value among all the
@@ -267,6 +330,40 @@ func NormalizeByMax(matrix []Vector) []Vector {
 			}
 		}
 		out[i] = nv
+	}
+	return out
+}
+
+// NormalizeByMaxInto is NormalizeByMax against pooled backing storage:
+// the returned matrix is valid until the buffer's next use. maxAbs
+// scratch rides in the same buffer's spare row header slot, so the
+// call allocates nothing once the buffer has grown.
+func NormalizeByMaxInto(buf *MatrixBuf, matrix []Vector) []Vector {
+	if len(matrix) == 0 {
+		return nil
+	}
+	dims := len(matrix[0])
+	// One extra row holds the per-dimension maxima.
+	rows := buf.Matrix(len(matrix)+1, dims)
+	out, maxAbs := rows[:len(matrix)], rows[len(matrix)]
+	for j := range maxAbs {
+		maxAbs[j] = 0
+	}
+	for _, v := range matrix {
+		for j, x := range v {
+			if a := abs(x); a > maxAbs[j] {
+				maxAbs[j] = a
+			}
+		}
+	}
+	for i, v := range matrix {
+		for j, x := range v {
+			if maxAbs[j] > 0 {
+				out[i][j] = x / maxAbs[j]
+			} else {
+				out[i][j] = 0
+			}
+		}
 	}
 	return out
 }

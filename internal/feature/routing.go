@@ -16,18 +16,26 @@ func (GradeOfRoad) Descriptor() Descriptor {
 }
 
 // Extract implements Extractor: the modal grade of the matched edges.
+// Grades are the closed code set 1–7 (roadnet.Grade.Valid), so the
+// count fits a fixed array — this runs once per segment per request
+// and must not allocate.
 func (GradeOfRoad) Extract(seg traj.Segment, ctx *Context) float64 {
 	edges := ctx.SegmentEdges(seg)
 	if len(edges) == 0 {
 		return 0
 	}
-	counts := make(map[roadnet.Grade]int)
+	var counts [8]int
 	for _, e := range edges {
-		counts[e.Grade]++
+		g := e.Grade
+		if g < 0 || g > 7 {
+			g = 0 // out-of-range grades cannot enter a valid graph
+		}
+		counts[g]++
 	}
-	best, bestN := roadnet.Grade(0), 0
+	best, bestN := 0, 0
 	for g, n := range counts {
-		if n > bestN || (n == bestN && g < best) {
+		// Ascending iteration: strict > keeps the smallest modal grade.
+		if n > bestN {
 			best, bestN = g, n
 		}
 	}
@@ -71,11 +79,15 @@ func (TrafficDirection) Extract(seg traj.Segment, ctx *Context) float64 {
 	if len(edges) == 0 {
 		return 0
 	}
-	counts := make(map[roadnet.Direction]int)
+	oneWay, twoWay := 0, 0
 	for _, e := range edges {
-		counts[e.Direction]++
+		if e.Direction == roadnet.OneWay {
+			oneWay++
+		} else {
+			twoWay++
+		}
 	}
-	if counts[roadnet.OneWay] > counts[roadnet.TwoWay] {
+	if oneWay > twoWay {
 		return float64(roadnet.OneWay)
 	}
 	return float64(roadnet.TwoWay)

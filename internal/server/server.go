@@ -18,6 +18,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -27,6 +28,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -85,8 +87,24 @@ type Options struct {
 	EnablePprof bool
 	// MaxBodyBytes caps the request body of POST /summarize; an
 	// oversized body gets 413. 0 uses DefaultMaxBodyBytes; negative
-	// disables the cap.
+	// disables the cap. POST /summarize/batch carries many trajectories
+	// in one body, so its cap is this value × 16 (see batch.go).
 	MaxBodyBytes int64
+	// BatchWorkers bounds the worker pool a single POST /summarize/batch
+	// request fans its items across. The batch occupies one in-flight
+	// slot (MaxInFlight) regardless of its worker count. 0 uses
+	// GOMAXPROCS — with one batch in flight that keeps every core busy.
+	BatchWorkers int
+	// MaxBatchItems caps the items of one batch request; a larger batch
+	// is rejected whole with 413. 0 uses DefaultMaxBatchItems; negative
+	// disables the cap.
+	MaxBatchItems int
+	// MaxItemSamples caps one batch item's trajectory samples; an
+	// oversized item fails alone (inline per-item error) without
+	// failing the batch — the batch-shaped analogue of the single
+	// endpoint's body cap. 0 uses DefaultMaxItemSamples; negative
+	// disables the cap.
+	MaxItemSamples int
 	// MaxInFlight bounds concurrently-handled requests on all routes
 	// except the infrastructure endpoints (/healthz, /readyz, /metrics,
 	// /debug/pprof/). Requests beyond the limit are shed immediately
@@ -190,6 +208,7 @@ func newServer(s *stmaker.Summarizer, reg *registry.Registry, opts Options) (*Se
 	}
 	srv.ready.Store(true)
 	srv.mux.HandleFunc("/summarize", srv.handleSummarize)
+	srv.mux.HandleFunc("/summarize/batch", srv.handleBatch)
 	if opts.Ingest != nil {
 		svc, err := ingest.NewService(reg, *opts.Ingest)
 		if err != nil {
@@ -397,50 +416,65 @@ func (srv *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		srv.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	if req.Trajectory == nil {
-		srv.writeError(w, http.StatusBadRequest, "missing trajectory")
-		return
-	}
-	k := req.K
 	if qk := r.URL.Query().Get("k"); qk != "" {
 		parsed, err := strconv.Atoi(qk)
 		if err != nil || parsed < 0 {
 			srv.writeError(w, http.StatusBadRequest, "invalid k")
 			return
 		}
-		k = parsed
+		req.K = parsed
 	}
-	region, s, err := srv.resolveRegion(&req, r)
-	if err != nil {
-		srv.writeError(w, statusForError(err), err.Error())
+	resp, code := srv.summarizeOne(r.Context(), &req, r.URL.Query().Get("region"))
+	if code != http.StatusOK {
+		srv.writeError(w, code, resp.Error)
 		return
 	}
-	ctx := r.Context()
+	srv.writeJSON(w, resp)
+}
+
+// summarizeOne resolves the region and runs the pipeline for one
+// summarize request. It is the shared core of the single and batch
+// endpoints, so a batch item's response is byte-identical to what the
+// single endpoint would produce for the same trajectory. queryRegion is
+// the ?region= override (always empty for batch items). The returned
+// status is http.StatusOK on success; on failure resp carries only the
+// error message.
+func (srv *Server) summarizeOne(ctx context.Context, req *SummarizeRequest, queryRegion string) (SummarizeResponse, int) {
+	if req.Trajectory == nil {
+		return SummarizeResponse{Error: "missing trajectory"}, http.StatusBadRequest
+	}
+	region, s, err := srv.resolveRegion(req, queryRegion)
+	if err != nil {
+		return SummarizeResponse{Error: err.Error()}, statusForError(err)
+	}
 	if srv.opts.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, srv.opts.RequestTimeout)
 		defer cancel()
 	}
-	sum, err := s.SummarizeKContext(ctx, req.Trajectory, k)
+	sum, err := s.SummarizeKContext(ctx, req.Trajectory, req.K)
 	if err != nil {
-		srv.writeError(w, statusForError(err), err.Error())
-		return
+		return SummarizeResponse{Error: err.Error()}, statusForError(err)
 	}
 	resp := SummarizeResponse{ID: sum.TrajectoryID, Text: sum.Text}
 	if srv.reg.Multi() {
 		resp.Region = region
 	}
+	resp.Parts = make([]PartResponse, 0, len(sum.Parts))
 	for _, p := range sum.Parts {
 		pr := PartResponse{
 			Source: p.SourceName, Dest: p.DestName,
 			RoadType: p.RoadType, Text: p.Text,
+		}
+		if len(p.Features) > 0 {
+			pr.Features = make([]FeatureEntry, 0, len(p.Features))
 		}
 		for _, f := range p.Features {
 			pr.Features = append(pr.Features, FeatureEntry{Key: f.Key, Rate: f.Rate, Value: f.Value})
 		}
 		resp.Parts = append(resp.Parts, pr)
 	}
-	srv.writeJSON(w, resp)
+	return resp, http.StatusOK
 }
 
 // resolveRegion picks the regional summarizer serving a request.
@@ -452,10 +486,10 @@ func (srv *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 // from the client's point of view "region key that does not exist" and
 // "location no region covers" are the same condition — this deployment
 // does not serve it.
-func (srv *Server) resolveRegion(req *SummarizeRequest, r *http.Request) (string, *stmaker.Summarizer, error) {
+func (srv *Server) resolveRegion(req *SummarizeRequest, queryRegion string) (string, *stmaker.Summarizer, error) {
 	region := req.Region
-	if q := r.URL.Query().Get("region"); q != "" {
-		region = q
+	if queryRegion != "" {
+		region = queryRegion
 	}
 	if region == "" {
 		region = srv.reg.DefaultRegion()
@@ -477,20 +511,73 @@ func (srv *Server) resolveRegion(req *SummarizeRequest, r *http.Request) (string
 	return region, s, err
 }
 
-// writeJSON encodes v as the response body. An encode failure after the
-// header is out is unrecoverable wire-wise (typically the client hung
-// up), but it must not vanish silently — it is logged.
+// MetricHTTPEncodeErrors counts response bodies that failed to encode
+// or write. By then the status header is out, so the client cannot be
+// told; the usual cause is the client hanging up mid-response.
+// docs/OBSERVABILITY.md catalogues it.
+const MetricHTTPEncodeErrors = "http_encode_errors_total"
+
+// encodeFailed records a response encode/write failure: logged and
+// counted, never swallowed. The wire is unrecoverable at this point —
+// the header is already out — so observability is all that is left.
+func (srv *Server) encodeFailed(err error) {
+	srv.logger.Error("response encode failed", "error", err)
+	srv.mx.Counter(MetricHTTPEncodeErrors).Inc()
+}
+
+// encodeBuf is a pooled response-encoding buffer: one bytes.Buffer with
+// a json.Encoder permanently bound to it, so the hot path reuses both
+// the encoder machinery and the output bytes instead of allocating a
+// fresh encoder plus a growing buffer per response.
+type encodeBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	eb := &encodeBuf{}
+	eb.enc = json.NewEncoder(&eb.buf)
+	return eb
+}}
+
+// encode resets the buffer and encodes v into it (with the encoder's
+// trailing newline).
+func (eb *encodeBuf) encode(v any) error {
+	eb.buf.Reset()
+	return eb.enc.Encode(v)
+}
+
+// writeJSON encodes v as the response body. Encoding lands in a pooled
+// buffer first, so a marshal failure (a handler-bug response shape) is
+// caught before any byte reaches the wire and the client gets a clean
+// 500 instead of a truncated 200.
 func (srv *Server) writeJSON(w http.ResponseWriter, v any) {
+	eb := encPool.Get().(*encodeBuf)
+	defer encPool.Put(eb)
+	if err := eb.encode(v); err != nil {
+		srv.encodeFailed(err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		srv.logger.Error("response encode failed", "error", err)
+	w.Header().Set("Content-Length", strconv.Itoa(eb.buf.Len()))
+	if _, err := w.Write(eb.buf.Bytes()); err != nil {
+		srv.encodeFailed(err)
 	}
 }
 
 func (srv *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	eb := encPool.Get().(*encodeBuf)
+	defer encPool.Put(eb)
+	if err := eb.encode(SummarizeResponse{Error: msg}); err != nil {
+		srv.encodeFailed(err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(eb.buf.Len()))
 	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(SummarizeResponse{Error: msg}); err != nil {
-		srv.logger.Error("error-response encode failed", "error", err)
+	if _, err := w.Write(eb.buf.Bytes()); err != nil {
+		srv.encodeFailed(err)
 	}
 }

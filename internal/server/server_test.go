@@ -21,7 +21,7 @@ var (
 	setupErr  error
 )
 
-func testServer(t *testing.T) (*Server, *traj.Raw) {
+func testServer(t testing.TB) (*Server, *traj.Raw) {
 	t.Helper()
 	setupOnce.Do(func() {
 		city := simulate.NewCity(simulate.CityOptions{Rows: 7, Cols: 7, Seed: 51})

@@ -34,6 +34,24 @@ type Selector struct {
 	// historical feature map has no data for a transition. When false,
 	// such segments are skipped in the moving-rate computation.
 	GlobalMeanFallback bool
+
+	// Per-request scratch, lazily sized on first use and reused across
+	// the trajectory's partitions. A Selector is therefore not safe for
+	// concurrent use; build one per request (they are cheap).
+	descs       []feature.Descriptor
+	wvec        []float64
+	vals        []float64
+	seq         []float64
+	tpLandmarks []int
+}
+
+// prepare caches the per-request invariants: feature metadata and the
+// weight vector, both constant across the trajectory's partitions.
+func (sel *Selector) prepare() {
+	if sel.descs == nil {
+		sel.descs = sel.Registry.Descriptors()
+		sel.wvec = sel.Weights.VectorFor(sel.Registry)
+	}
 }
 
 func (sel *Selector) threshold() float64 {
@@ -48,16 +66,17 @@ func (sel *Selector) threshold() float64 {
 // matrix holds the raw (unnormalized) feature vectors of every segment of
 // the whole trajectory.
 func (sel *Selector) SelectForPart(s *traj.Symbolic, part partition.Part, matrix []feature.Vector) []SelectedFeature {
-	descs := sel.Registry.Descriptors()
-	wvec := sel.Weights.VectorFor(sel.Registry)
+	sel.prepare()
+	descs, wvec := sel.descs, sel.wvec
 
 	// Landmark sequences of the partition and of the popular route
 	// between its endpoints.
-	tpLandmarks := make([]int, 0, part.Len()+1)
+	tpLandmarks := sel.tpLandmarks[:0]
 	for i := part.FirstSeg; i <= part.LastSeg; i++ {
 		tpLandmarks = append(tpLandmarks, s.Visits[i].Landmark)
 	}
 	tpLandmarks = append(tpLandmarks, s.Visits[part.LastSeg+1].Landmark)
+	sel.tpLandmarks = tpLandmarks
 	var prRoute []int
 	if sel.Popular != nil {
 		if route, ok := sel.Popular.Route(tpLandmarks[0], tpLandmarks[len(tpLandmarks)-1]); ok {
@@ -67,10 +86,11 @@ func (sel *Selector) SelectForPart(s *traj.Symbolic, part partition.Part, matrix
 
 	var selected []SelectedFeature
 	for j, d := range descs {
-		vals := make([]float64, 0, part.Len())
+		vals := sel.vals[:0]
 		for i := part.FirstSeg; i <= part.LastSeg; i++ {
 			vals = append(vals, matrix[i][j])
 		}
+		sel.vals = vals
 		var rate float64
 		sf := SelectedFeature{Key: d.Key, Name: d.Name, Class: d.Class, Numeric: d.Numeric}
 		switch d.Class {
@@ -109,7 +129,7 @@ func (sel *Selector) routeFeatureSeq(prRoute []int, j int) ([]float64, bool) {
 	if len(prRoute) < 2 || sel.FeatureMap == nil {
 		return nil, false
 	}
-	seq := make([]float64, 0, len(prRoute)-1)
+	seq := sel.seq[:0]
 	for i := 1; i < len(prRoute); i++ {
 		r, ok := sel.FeatureMap.Regular(prRoute[i-1], prRoute[i])
 		if !ok {
@@ -120,6 +140,7 @@ func (sel *Selector) routeFeatureSeq(prRoute []int, j int) ([]float64, bool) {
 		}
 		seq = append(seq, r[j])
 	}
+	sel.seq = seq
 	return seq, true
 }
 
@@ -129,7 +150,7 @@ func (sel *Selector) regularSeq(s *traj.Symbolic, part partition.Part, j, n int)
 	if sel.FeatureMap == nil {
 		return nil, false
 	}
-	out := make([]float64, 0, n)
+	out := sel.seq[:0]
 	for i := part.FirstSeg; i <= part.LastSeg; i++ {
 		a, b := s.Visits[i].Landmark, s.Visits[i+1].Landmark
 		r, ok := sel.FeatureMap.Regular(a, b)
@@ -141,6 +162,7 @@ func (sel *Selector) regularSeq(s *traj.Symbolic, part partition.Part, j, n int)
 		}
 		out = append(out, r[j])
 	}
+	sel.seq = out
 	return out, true
 }
 
@@ -158,12 +180,44 @@ func aggregate(vals []float64, numeric bool) (v float64, ok bool) {
 		}
 		return sum / float64(len(vals)), true
 	}
-	counts := make(map[float64]int)
+	// Mode of category codes. Categorical features draw from single-digit
+	// code sets (road grades 1–7, directions 1–2), so a small linear-scan
+	// table beats a map allocation on this per-partition hot path; the
+	// map remains as overflow for exotic registered features.
+	var keys [8]float64
+	var cnts [8]int
+	distinct := 0
+	var overflow map[float64]int
 	for _, x := range vals {
-		counts[x]++
+		found := false
+		for i := 0; i < distinct; i++ {
+			//lint:allow floateq -- category codes are exact small integers
+			if keys[i] == x {
+				cnts[i]++
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		if distinct < len(keys) {
+			keys[distinct], cnts[distinct] = x, 1
+			distinct++
+			continue
+		}
+		if overflow == nil {
+			overflow = make(map[float64]int)
+		}
+		overflow[x]++
 	}
 	best, bestN := 0.0, 0
-	for x, n := range counts {
+	for i := 0; i < distinct; i++ {
+		if cnts[i] > bestN || (cnts[i] == bestN && keys[i] < best) {
+			best, bestN = keys[i], cnts[i]
+		}
+	}
+	for x, n := range overflow {
 		if n > bestN || (n == bestN && x < best) {
 			best, bestN = x, n
 		}
@@ -244,31 +298,44 @@ func extractorAt(reg *feature.Registry, i int) feature.Extractor {
 // sentence templates' "road type (road name)" slot is internally
 // consistent. ok is false when no segment could be map-matched.
 func RoadForPart(ctx *feature.Context, s *traj.Symbolic, part partition.Part) (grade roadnet.Grade, name string, ok bool) {
-	grades := make(map[roadnet.Grade]int)
-	names := make(map[roadnet.Grade]map[string]int)
+	// Two passes over the (cached) segment edges: grade codes 1–7 fit a
+	// fixed count array, and the name map is only built for the modal
+	// grade — this runs per partition on the serving hot path, so the
+	// common all-unnamed case must not allocate.
+	var grades [8]int
 	for i := part.FirstSeg; i <= part.LastSeg; i++ {
 		for _, e := range ctx.SegmentEdges(s.Segment(i)) {
-			grades[e.Grade]++
-			if e.Name == "" {
-				continue
+			g := e.Grade
+			if g < 0 || g > 7 {
+				g = 0
 			}
-			if names[e.Grade] == nil {
-				names[e.Grade] = make(map[string]int)
-			}
-			names[e.Grade][e.Name]++
+			grades[g]++
 		}
 	}
 	modalN := 0
 	for g, n := range grades {
-		if n > modalN || (n == modalN && g < grade) {
-			grade, modalN = g, n
+		// Ascending iteration: strict > keeps the smallest modal grade.
+		if n > modalN {
+			grade, modalN = roadnet.Grade(g), n
 		}
 	}
 	if modalN == 0 {
 		return 0, "", false
 	}
+	var names map[string]int
+	for i := part.FirstSeg; i <= part.LastSeg; i++ {
+		for _, e := range ctx.SegmentEdges(s.Segment(i)) {
+			if e.Grade != grade || e.Name == "" {
+				continue
+			}
+			if names == nil {
+				names = make(map[string]int)
+			}
+			names[e.Name]++
+		}
+	}
 	bestN := 0
-	for nm, n := range names[grade] {
+	for nm, n := range names {
 		if n > bestN || (n == bestN && nm < name) {
 			name, bestN = nm, n
 		}
@@ -290,15 +357,18 @@ func DominantGrade(reg *feature.Registry, matrix []feature.Vector, part partitio
 	if j < 0 {
 		return 0, false
 	}
-	counts := make(map[float64]int)
+	// Grade codes are 1–7 (roadnet.Grade.Valid), so the count fits a
+	// fixed array; this runs per partition on the render path.
+	var counts [8]int
 	for i := part.FirstSeg; i <= part.LastSeg && i < len(matrix); i++ {
-		if g := matrix[i][j]; g > 0 {
+		if g := int(matrix[i][j]); g >= 1 && g <= 7 {
 			counts[g]++
 		}
 	}
-	best, bestN := 0.0, 0
+	best, bestN := 0, 0
 	for g, n := range counts {
-		if n > bestN || (n == bestN && g < best) {
+		// Ascending iteration: strict > keeps the smallest modal grade.
+		if n > bestN {
 			best, bestN = g, n
 		}
 	}

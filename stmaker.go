@@ -222,6 +222,46 @@ type Summarizer struct {
 	// copy a lock or an atomic value.
 	model *atomic.Pointer[Model]
 	pubMu *sync.Mutex
+
+	// scratch pools per-request pipeline buffers (feature matrices,
+	// partition inputs, weight vectors). The pooled weight vector is laid
+	// out for this summarizer's cfg.Weights, so WithWeights clones get a
+	// fresh pool instead of sharing this one.
+	scratch *sync.Pool
+}
+
+// pipeScratch is one request's reusable pipeline scratch: everything
+// summarizeSymbolic needs that would otherwise be allocated per call
+// and die young. Nothing in here is referenced by the returned Summary.
+type pipeScratch struct {
+	mat   feature.MatrixBuf
+	norm  feature.MatrixBuf
+	feats [][]float64
+	sig   []float64
+	wvec  []float64
+}
+
+func newScratchPool() *sync.Pool {
+	return &sync.Pool{New: func() any { return new(pipeScratch) }}
+}
+
+// weights returns the pooled weight vector, rebuilt when the registry
+// grew since this scratch last served (RegisterFeature happens only
+// before the first publish, so in steady state this is a length check).
+func (ps *pipeScratch) weights(w feature.Weights, reg *feature.Registry) []float64 {
+	if len(ps.wvec) != reg.Len() {
+		ps.wvec = w.VectorFor(reg)
+	}
+	return ps.wvec
+}
+
+// input returns the pooled partition input sized for n segments.
+func (ps *pipeScratch) input(n int) partition.Input {
+	if cap(ps.feats) < n {
+		ps.feats = make([][]float64, n)
+		ps.sig = make([]float64, n)
+	}
+	return partition.Input{Features: ps.feats[:n], Significance: ps.sig[:n]}
 }
 
 // stageTimers holds the pre-resolved per-stage histograms so the hot path
@@ -307,6 +347,7 @@ func New(cfg Config) (*Summarizer, error) {
 		timers:    newStageTimers(mx),
 		model:     &atomic.Pointer[Model]{},
 		pubMu:     &sync.Mutex{},
+		scratch:   newScratchPool(),
 	}
 	if cfg.Sanitize != nil {
 		s.sanitizer = sanitize.New(*cfg.Sanitize)
@@ -512,6 +553,8 @@ func (s *Summarizer) FeatureMap() *history.FeatureMap {
 func (s *Summarizer) WithWeights(w feature.Weights) *Summarizer {
 	clone := *s
 	clone.cfg.Weights = w
+	// The pooled weight vectors are laid out for the old weights.
+	clone.scratch = newScratchPool()
 	return &clone
 }
 
@@ -621,17 +664,24 @@ func (s *Summarizer) summarizeSymbolic(ctx context.Context, sym *traj.Symbolic, 
 	}
 	defer s.timers.summarize.ObserveSince(time.Now())
 
+	// Per-request pooled scratch; the segment-edge cache entry is
+	// released with it, so the long-lived serving Context stays bounded
+	// by the number of requests in flight.
+	scratch := s.scratch.Get().(*pipeScratch)
+	defer s.scratch.Put(scratch)
+	defer s.ctx.ReleaseEdges(sym)
+
 	if err := s.checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	tExtract := time.Now()
-	matrix := s.registry.ExtractAll(sym, s.ctx)
+	matrix := s.registry.ExtractAllInto(&scratch.mat, sym, s.ctx)
 	s.timers.extract.ObserveSince(tExtract)
 
 	if err := s.checkCtx(ctx); err != nil {
 		return nil, err
 	}
-	res, err := s.partitionTrajectory(sym, matrix, k)
+	res, err := s.partitionTrajectory(scratch, sym, matrix, k)
 	if err != nil {
 		s.mx.Counter(MetricSummarizeErrors).Inc()
 		return nil, err
@@ -684,27 +734,26 @@ func (s *Summarizer) summarizeSymbolic(ctx context.Context, sym *traj.Symbolic, 
 // and selects nothing, returning the optimal (k <= 0) or exact-k partition
 // of the symbolic trajectory.
 func (s *Summarizer) Partition(sym *traj.Symbolic, k int) (partition.Result, error) {
+	scratch := s.scratch.Get().(*pipeScratch)
+	defer s.scratch.Put(scratch)
 	tExtract := time.Now()
-	matrix := s.registry.ExtractAll(sym, s.ctx)
+	matrix := s.registry.ExtractAllInto(&scratch.mat, sym, s.ctx)
 	s.timers.extract.ObserveSince(tExtract)
-	return s.partitionTrajectory(sym, matrix, k)
+	return s.partitionTrajectory(scratch, sym, matrix, k)
 }
 
-func (s *Summarizer) partitionTrajectory(sym *traj.Symbolic, matrix []feature.Vector, k int) (partition.Result, error) {
+func (s *Summarizer) partitionTrajectory(scratch *pipeScratch, sym *traj.Symbolic, matrix []feature.Vector, k int) (partition.Result, error) {
 	defer s.timers.partition.ObserveSince(time.Now())
 	n := sym.NumSegments()
-	norm := feature.NormalizeByMax(matrix)
-	in := partition.Input{
-		Features:     make([][]float64, n),
-		Significance: make([]float64, n),
-	}
+	norm := feature.NormalizeByMaxInto(&scratch.norm, matrix)
+	in := scratch.input(n)
 	for i := 0; i < n; i++ {
 		in.Features[i] = norm[i]
 		// Significance[i] is li.s for the landmark between segments i-1
 		// and i (unused at i = 0).
 		in.Significance[i] = s.cfg.Landmarks.Get(sym.Visits[i].Landmark).Significance
 	}
-	opts := partition.Options{Ca: s.cfg.Ca, Weights: s.cfg.Weights.VectorFor(s.registry)}
+	opts := partition.Options{Ca: s.cfg.Ca, Weights: scratch.weights(s.cfg.Weights, s.registry)}
 	if k <= 0 {
 		return partition.Optimal(in, opts)
 	}

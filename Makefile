@@ -11,8 +11,10 @@ vet:
 	go vet -unsafeptr=true ./...
 
 # Project-specific static analysis: metric naming/doc sync, lat/lng
-# argument order, exact float comparison, context discipline and
-# sync.Pool pairing. See docs/STATIC_ANALYSIS.md.
+# argument order, exact float comparison, context discipline, sync.Pool
+# pairing, and the dataflow checks — Model immutability, pooled-scratch
+# escape, atomic-cell publish discipline, and the error/status taxonomy
+# against docs/API.md. See docs/STATIC_ANALYSIS.md.
 lint:
 	go run ./cmd/stmaker-lint
 

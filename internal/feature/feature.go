@@ -268,7 +268,9 @@ func (r *Registry) ExtractAll(s *traj.Symbolic, ctx *Context) []Vector {
 // costs zero allocations once the buffer has grown to the workload's
 // trajectory size. A MatrixBuf serves one matrix at a time — reusing it
 // invalidates the previously returned rows — and is not safe for
-// concurrent use; the pipeline pools one per in-flight request.
+// concurrent use; the pipeline pools one per in-flight request, so
+// nothing backed by the buffer may outlive the request (`make lint`
+// poolescape tracks the aliases).
 type MatrixBuf struct {
 	rows []Vector
 	flat []float64

@@ -413,6 +413,9 @@ func (ing *Ingester) CompactNow() error {
 		return nil
 	}
 	ing.compacting = true
+	// Clone, don't alias: the accumulator keeps mutating under new fixes
+	// while the frozen copy becomes (immutable) model state — the same
+	// ownership handoff the modelmut lint check guards downstream.
 	frozen := ing.acc.Clone()
 	barrier := ing.wal.LastSeq()
 	err = ing.wal.Roll()

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomiccellCheck guards the model-swap discipline: every publication
+// of a *Model (the process-wide cell in Summarizer, the per-region
+// cells in internal/registry) goes through a designated publish helper
+// that stamps the version, updates the gauges, and holds the right
+// locks. A raw .Store/.Swap/.CompareAndSwap on one of those
+// atomic.Pointer cells anywhere else bypasses that discipline — the
+// swap "works" but versions stop advancing and metrics lie.
+type atomiccellCheck struct{}
+
+func (atomiccellCheck) name() string { return "atomiccell" }
+
+// atomicCellTargets names the guarded atomic.Pointer element types and
+// the only functions allowed to hit them directly. Package paths match
+// by suffix so golden fixtures loaded under short paths participate.
+var atomicCellTargets = []struct {
+	pkgSuffix string // package declaring the element type
+	typeName  string
+	allowPkg  string   // package whose functions may Store/Swap directly
+	allowFns  []string // the designated publish helpers
+}{
+	{"stmaker", "Model", "stmaker", []string{"publish"}},
+	{"internal/registry", "cellState", "internal/registry", []string{"NewStatic", "load", "evictLocked", "reload"}},
+}
+
+func (c atomiccellCheck) pkg(r *reporter, p *Package) {
+	for _, fd := range p.Funcs {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			op := sel.Sel.Name
+			if op != "Store" && op != "Swap" && op != "CompareAndSwap" {
+				return true
+			}
+			elem := atomicPointerElem(p, sel.X)
+			if elem == nil {
+				return true
+			}
+			for _, tgt := range atomicCellTargets {
+				if !isNamed(elem, tgt.pkgSuffix, tgt.typeName) {
+					continue
+				}
+				if allowedPublisher(p, fd, tgt.allowPkg, tgt.allowFns) {
+					return true
+				}
+				r.report(p, c.name(), call.Pos(),
+					"direct .%s on atomic.Pointer[%s] outside its publish helper(s) %v: route the swap through them so the version/metrics discipline holds",
+					op, tgt.typeName, tgt.allowFns)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+func (atomiccellCheck) finish(*reporter) {}
+
+// atomicPointerElem returns the element type T when expr has type
+// (*)sync/atomic.Pointer[T], else nil.
+func atomicPointerElem(p *Package, expr ast.Expr) types.Type {
+	t := p.Info.Types[expr].Type
+	n := namedType(t)
+	if n == nil {
+		return nil
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Name() != "Pointer" || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	args := n.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil
+	}
+	return args.At(0)
+}
+
+// allowedPublisher reports whether fd is one of the designated publish
+// helpers for a guarded cell.
+func allowedPublisher(p *Package, fd *ast.FuncDecl, allowPkg string, allowFns []string) bool {
+	if !pkgPathHasSuffix(p.Path, allowPkg) {
+		return false
+	}
+	for _, name := range allowFns {
+		if fd.Name.Name == name {
+			return true
+		}
+	}
+	return false
+}

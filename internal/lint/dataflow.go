@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the engine's intra-procedural dataflow layer: a small
+// taint/alias analysis over one function body, built on go/types only
+// (no golang.org/x/tools SSA). A check seeds it with a predicate over
+// expressions ("this is a sync.Pool.Get call", "this reads a slice out
+// of a Model") and the layer propagates to a fixpoint through the
+// aliasing constructs Go actually has: plain and tuple assignments,
+// short variable declarations, range loops, selector/index/slice/deref
+// steps, address-of, type assertions, composite literals, append, and
+// closure capture. Checks then ask taintedExpr at their sinks.
+//
+// The analysis is deliberately intra-procedural and conservative in
+// both directions where it keeps the sweep quiet:
+//
+//   - A call taints its result only when the callee can plausibly hand
+//     back memory reachable from a tainted argument: a method on a
+//     tainted receiver, a call passing &tainted (the "FooInto(&buf)"
+//     convention of internal/feature), or a bytes/strings function —
+//     the stdlib families that return sub-slices of their input. A
+//     plain value argument (a slice passed by value to a pure
+//     function) does not taint the result; that is what keeps
+//     Summarizer.summarizeSymbolic's fresh Summary clean even though
+//     the pooled matrix flows through SelectForPart.
+//   - Taint only sticks to objects whose type can actually carry a
+//     reference (taintableType); an int length read out of a pooled
+//     buffer is not an escape.
+type flow struct {
+	p       *Package
+	seed    func(ast.Expr) bool
+	tainted map[types.Object]bool
+}
+
+// newFlow runs the fixpoint over body and returns the resulting flow.
+// seed marks the expressions where taint originates.
+func newFlow(p *Package, body ast.Node, seed func(ast.Expr) bool) *flow {
+	fl := &flow{p: p, seed: seed, tainted: make(map[types.Object]bool)}
+	// Each pass can extend the tainted set by one alias step; iterate to
+	// a fixpoint. The iteration cap only guards against a pathological
+	// propagation bug — real bodies converge in a handful of passes.
+	for i := 0; i < 64; i++ {
+		if !fl.propagate(body) {
+			break
+		}
+	}
+	return fl
+}
+
+// taintedObj reports whether the analysis marked o as aliasing seeded
+// memory.
+func (fl *flow) taintedObj(o types.Object) bool { return o != nil && fl.tainted[o] }
+
+// taintableType reports whether a value of type t can carry a reference
+// to seeded memory: pointers, slices, maps, channels, funcs, non-error
+// interfaces, and aggregates containing any of those. Basic types
+// (including string — always copied or immutable) cannot.
+func taintableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Interface:
+		// error results travel everywhere; tainting them would flag
+		// every `return err` in a pooled function.
+		return !types.Identical(t, types.Universe.Lookup("error").Type())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if taintableType(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return taintableType(u.Elem())
+	}
+	return false
+}
+
+// aliasPassthrough reports whether fn is a stdlib function known to
+// return memory aliasing its arguments (bytes.TrimSuffix and friends).
+func aliasPassthrough(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "bytes", "strings":
+		return true
+	}
+	return false
+}
+
+// taintedExpr reports whether e evaluates to (or contains a reference
+// to) seeded memory under the current tainted set.
+func (fl *flow) taintedExpr(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if fl.seed(e) {
+		return true
+	}
+	switch ex := e.(type) {
+	case *ast.Ident:
+		if o := fl.p.Info.Uses[ex]; o != nil {
+			return fl.tainted[o]
+		}
+		return fl.tainted[fl.p.Info.Defs[ex]]
+	case *ast.ParenExpr:
+		return fl.taintedExpr(ex.X)
+	case *ast.SelectorExpr:
+		// A field read of a tainted value aliases it. A qualified
+		// identifier (pkg.Name) roots at a *types.PkgName and is never
+		// tainted via X.
+		if id, ok := ex.X.(*ast.Ident); ok {
+			if _, isPkg := fl.p.Info.Uses[id].(*types.PkgName); isPkg {
+				return false
+			}
+		}
+		return fl.taintedExpr(ex.X)
+	case *ast.IndexExpr:
+		return fl.taintedExpr(ex.X)
+	case *ast.SliceExpr:
+		return fl.taintedExpr(ex.X)
+	case *ast.StarExpr:
+		return fl.taintedExpr(ex.X)
+	case *ast.UnaryExpr:
+		return fl.taintedExpr(ex.X)
+	case *ast.TypeAssertExpr:
+		return fl.taintedExpr(ex.X)
+	case *ast.CompositeLit:
+		for _, el := range ex.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if fl.taintedExpr(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.FuncLit:
+		// A closure is tainted if it captures a tainted object: handing
+		// the closure around hands the object around.
+		captured := false
+		ast.Inspect(ex.Body, func(n ast.Node) bool {
+			if captured {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && fl.tainted[fl.p.Info.Uses[id]] {
+				captured = true
+			}
+			return !captured
+		})
+		return captured
+	case *ast.CallExpr:
+		return fl.taintedCall(ex)
+	}
+	return false
+}
+
+// taintedCall decides whether a call's results alias seeded memory.
+func (fl *flow) taintedCall(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	// append(tainted, ...) and append(s, tainted...) both alias.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := fl.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name != "append" {
+				return false
+			}
+			for _, a := range call.Args {
+				if fl.taintedExpr(a) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// Method on a tainted receiver: scratch.input(n), eb.buf.Bytes().
+	// (A qualified pkg.Func call roots at a PkgName, which is never
+	// tainted, so it falls through harmlessly.)
+	if sel, ok := fun.(*ast.SelectorExpr); ok && fl.taintedExpr(sel.X) {
+		return true
+	}
+	fn := calleeFunc(fl.p, call)
+	passthrough := aliasPassthrough(fn)
+	for _, a := range call.Args {
+		if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op.String() == "&" && fl.taintedExpr(u.X) {
+			return true // FooInto(&tainted, ...) hands the callee tainted storage
+		}
+		if passthrough && fl.taintedExpr(a) {
+			return true // bytes/strings results sub-slice their input
+		}
+	}
+	return false
+}
+
+// rootIdentObj walks selector/index/slice/star/paren steps down to the
+// root identifier of an lvalue chain and resolves its object, or nil.
+func rootIdentObj(p *Package, e ast.Expr) types.Object {
+	for {
+		switch ex := e.(type) {
+		case *ast.Ident:
+			if o := p.Info.Uses[ex]; o != nil {
+				return o
+			}
+			return p.Info.Defs[ex]
+		case *ast.SelectorExpr:
+			e = ex.X
+		case *ast.IndexExpr:
+			e = ex.X
+		case *ast.SliceExpr:
+			e = ex.X
+		case *ast.StarExpr:
+			e = ex.X
+		case *ast.ParenExpr:
+			e = ex.X
+		default:
+			return nil
+		}
+	}
+}
+
+// taint marks o tainted if its type can carry a reference, reporting
+// whether the set grew.
+func (fl *flow) taint(o types.Object) bool {
+	if o == nil || fl.tainted[o] || !taintableType(o.Type()) {
+		return false
+	}
+	fl.tainted[o] = true
+	return true
+}
+
+// taintLHS handles taint arriving at an assignment target: a plain
+// identifier becomes tainted itself; a field or element store into a
+// local variable taints that variable (resp.Data = matrix makes resp
+// carry the alias).
+func (fl *flow) taintLHS(lhs ast.Expr) bool {
+	switch ex := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if o := fl.p.Info.Defs[ex]; o != nil {
+			return fl.taint(o)
+		}
+		return fl.taint(fl.p.Info.Uses[ex])
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return fl.taint(rootIdentObj(fl.p, lhs))
+	}
+	return false
+}
+
+// propagate runs one pass over the body, reporting whether the tainted
+// set grew.
+func (fl *flow) propagate(body ast.Node) bool {
+	changed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+				// x, y := call() — taint every target that can carry it.
+				if fl.taintedExpr(st.Rhs[0]) {
+					for _, lhs := range st.Lhs {
+						if fl.taintLHS(lhs) {
+							changed = true
+						}
+					}
+				}
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if i < len(st.Lhs) && fl.taintedExpr(rhs) {
+					if fl.taintLHS(st.Lhs[i]) {
+						changed = true
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range st.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					rhs := ast.Expr(nil)
+					if len(vs.Values) == 1 && len(vs.Names) > 1 {
+						rhs = vs.Values[0]
+					} else if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					if rhs != nil && fl.taintedExpr(rhs) {
+						if fl.taint(fl.p.Info.Defs[name]) {
+							changed = true
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if fl.taintedExpr(st.X) {
+				for _, v := range []ast.Expr{st.Key, st.Value} {
+					if v == nil {
+						continue
+					}
+					if fl.taintLHS(v) {
+						changed = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}

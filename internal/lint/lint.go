@@ -1,8 +1,15 @@
 // Package lint implements stmaker-lint, the project-specific static
-// analyzer behind `make lint`. It loads every package in the module with
-// the standard library's go/parser + go/types (source importer — no
-// golang.org/x/tools dependency, preserving the zero-dep module) and runs
-// a small suite of repo-specific checks over the typed ASTs:
+// analyzer behind `make lint`. It is a two-pass engine over the whole
+// module, built on the standard library's go/parser + go/types (source
+// importer — no golang.org/x/tools dependency, preserving the zero-dep
+// module):
+//
+// Pass 1 parses every package, type-checks them concurrently in
+// dependency order, and records per-package facts the checks share —
+// the typed AST, the function index, and the suppression table.
+// Pass 2 runs the checks, each backed where needed by the lightweight
+// intra-procedural dataflow layer in dataflow.go (assignment/alias
+// tracking over go/types):
 //
 //   - metricnames: string literals passed to metrics.Registry.Counter /
 //     Histogram must be compile-time snake_case constants, counters must
@@ -17,6 +24,16 @@
 //     context.Background / context.TODO.
 //   - poolput: a function that calls sync.Pool.Get but never calls Put
 //     leaks the pooled object.
+//   - modelmut: no field writes or element stores to stmaker.Model or
+//     any type reachable from it outside the builder/codec allowlist —
+//     the immutability contract behind the atomic hot swap.
+//   - poolescape: a value from sync.Pool.Get (or memory it backs) must
+//     not be returned, stored to a heap-reachable location, or captured
+//     by a goroutine in a function that Puts it back.
+//   - atomiccell: .Store/.Swap/.CompareAndSwap on the model-carrying
+//     atomic.Pointer cells only inside the designated publish helpers.
+//   - statusmap: two-way sync between sentinel errors referenced in
+//     internal/server and the status table in docs/API.md.
 //
 // Diagnostics can be suppressed with a trailing (or preceding-line)
 // comment `//nolint:stmaker/<check>` — or `//lint:allow <check>`, the
@@ -36,7 +53,10 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the check that produced it and a
@@ -51,13 +71,19 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Msg)
 }
 
-// Package is one type-checked package ready for analysis.
+// Package is one type-checked package ready for analysis, carrying the
+// pass-1 facts every check shares: the typed AST, the function index
+// and the suppression table.
 type Package struct {
 	Path  string // import path
 	Fset  *token.FileSet
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Funcs indexes every function declaration with a body, in file
+	// order — the unit the dataflow layer analyzes. Built once in pass 1
+	// so the per-function checks don't re-walk the declaration lists.
+	Funcs []*ast.FuncDecl
 
 	supp map[string]map[int][]string // filename -> line -> suppressed check names ("*" = all)
 }
@@ -71,13 +97,19 @@ type parsedPkg struct {
 
 // loader type-checks the module's packages in dependency order, serving
 // module-internal imports from its own results and everything else (the
-// standard library) from the stdlib source importer.
+// standard library) from the stdlib source importer. Load type-checks
+// independent packages concurrently; mu guards the built map and srcMu
+// serializes the stdlib source importer, which is not safe for
+// concurrent use (each stdlib package is still only type-checked once
+// and cached, so the serial section shrinks as the warm-up completes).
 type loader struct {
 	fset     *token.FileSet
 	src      types.Importer
 	parsed   map[string]*parsedPkg
 	built    map[string]*Package
 	building map[string]bool
+	mu       sync.Mutex
+	srcMu    sync.Mutex
 }
 
 // importerFunc adapts a function to types.Importer.
@@ -125,20 +157,100 @@ func Load(root string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	return l.buildAll()
+}
+
+// buildAll type-checks every parsed package, running independent
+// packages concurrently: each package waits only for its module-internal
+// imports, so the module's dependency DAG — not its package count —
+// bounds the critical path.
+func (l *loader) buildAll() ([]*Package, error) {
 	paths := make([]string, 0, len(l.parsed))
 	for ip := range l.parsed {
 		paths = append(paths, ip)
 	}
 	sort.Strings(paths)
-	pkgs := make([]*Package, 0, len(paths))
+
+	// Module-internal dependency edges, from the parsed import specs.
+	deps := make(map[string][]string, len(paths))
 	for _, ip := range paths {
-		p, err := l.build(ip)
-		if err != nil {
+		for _, f := range l.parsed[ip].files {
+			for _, imp := range f.Imports {
+				dep, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if _, ok := l.parsed[dep]; ok && dep != ip {
+					deps[ip] = append(deps[ip], dep)
+				}
+			}
+		}
+	}
+	// Cycle detection up front: the concurrent scheme below would
+	// deadlock on one, and the serial path reports it cleanly.
+	for _, ip := range paths {
+		if _, err := l.checkCycle(ip, deps, make(map[string]int)); err != nil {
 			return nil, err
 		}
+	}
+
+	type signal struct {
+		ch  chan struct{}
+		err error
+	}
+	done := make(map[string]*signal, len(paths))
+	for _, ip := range paths {
+		done[ip] = &signal{ch: make(chan struct{})}
+	}
+	var wg sync.WaitGroup
+	for _, ip := range paths {
+		wg.Add(1)
+		go func(ip string) {
+			defer wg.Done()
+			s := done[ip]
+			defer close(s.ch)
+			for _, dep := range deps[ip] {
+				<-done[dep].ch
+				if done[dep].err != nil {
+					s.err = fmt.Errorf("lint: not building %s: dependency failed: %w", ip, done[dep].err)
+					return
+				}
+			}
+			_, s.err = l.buildOne(ip)
+		}(ip)
+	}
+	wg.Wait()
+
+	pkgs := make([]*Package, 0, len(paths))
+	for _, ip := range paths {
+		if err := done[ip].err; err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		p := l.built[ip]
+		l.mu.Unlock()
 		pkgs = append(pkgs, p)
 	}
 	return pkgs, nil
+}
+
+// checkCycle DFS-walks the dependency graph (state: 0 unvisited,
+// 1 on stack, 2 done) and reports an import cycle as an error.
+func (l *loader) checkCycle(ip string, deps map[string][]string, state map[string]int) (bool, error) {
+	switch state[ip] {
+	case 1:
+		return false, fmt.Errorf("lint: import cycle through %s", ip)
+	case 2:
+		return true, nil
+	}
+	state[ip] = 1
+	for _, dep := range deps[ip] {
+		if _, err := l.checkCycle(dep, deps, state); err != nil {
+			return false, err
+		}
+	}
+	state[ip] = 2
+	return true, nil
 }
 
 // LoadDir parses and type-checks the single package in dir under the
@@ -195,7 +307,8 @@ func (l *loader) parseDir(dir, importPath string) (*parsedPkg, error) {
 }
 
 // build type-checks importPath (and, recursively, its module-internal
-// dependencies) exactly once.
+// dependencies) exactly once. It is the serial path used by LoadDir;
+// buildAll schedules buildOne concurrently instead.
 func (l *loader) build(ip string) (*Package, error) {
 	if p, ok := l.built[ip]; ok {
 		return p, nil
@@ -206,31 +319,69 @@ func (l *loader) build(ip string) (*Package, error) {
 	l.building[ip] = true
 	defer delete(l.building, ip)
 
+	return l.typecheck(ip, importerFunc(func(path string) (*types.Package, error) {
+		if _, ok := l.parsed[path]; ok {
+			p, err := l.build(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return l.srcImport(path)
+	}))
+}
+
+// buildOne type-checks one package whose module-internal dependencies
+// have already been built (buildAll guarantees the ordering).
+func (l *loader) buildOne(ip string) (*Package, error) {
+	return l.typecheck(ip, importerFunc(func(path string) (*types.Package, error) {
+		l.mu.Lock()
+		p, ok := l.built[path]
+		l.mu.Unlock()
+		if ok {
+			return p.Types, nil
+		}
+		if _, parsed := l.parsed[path]; parsed {
+			return nil, fmt.Errorf("lint: internal error: dependency %s not built before %s", path, ip)
+		}
+		return l.srcImport(path)
+	}))
+}
+
+// srcImport serializes access to the stdlib source importer, which
+// caches aggressively but is not safe for concurrent use.
+func (l *loader) srcImport(path string) (*types.Package, error) {
+	l.srcMu.Lock()
+	defer l.srcMu.Unlock()
+	return l.src.Import(path)
+}
+
+// typecheck runs go/types over one parsed package and assembles the
+// Package with its pass-1 facts (function index, suppression table).
+func (l *loader) typecheck(ip string, imp types.Importer) (*Package, error) {
 	pp := l.parsed[ip]
 	info := &types.Info{
 		Types: make(map[ast.Expr]types.TypeAndValue),
 		Defs:  make(map[*ast.Ident]types.Object),
 		Uses:  make(map[*ast.Ident]types.Object),
 	}
-	conf := types.Config{
-		Importer: importerFunc(func(path string) (*types.Package, error) {
-			if _, ok := l.parsed[path]; ok {
-				p, err := l.build(path)
-				if err != nil {
-					return nil, err
-				}
-				return p.Types, nil
-			}
-			return l.src.Import(path)
-		}),
-	}
+	conf := types.Config{Importer: imp}
 	tp, err := conf.Check(ip, l.fset, pp.files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", ip, err)
 	}
 	p := &Package{Path: ip, Fset: l.fset, Files: pp.files, Types: tp, Info: info}
 	p.supp = collectSuppressions(l.fset, pp.files)
+	for _, f := range pp.files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				p.Funcs = append(p.Funcs, fd)
+			}
+		}
+	}
+	l.mu.Lock()
 	l.built[ip] = p
+	l.mu.Unlock()
 	return p, nil
 }
 
@@ -338,6 +489,10 @@ type Options struct {
 	// two-ways against the metric names used in code. Empty disables the
 	// documentation cross-check.
 	DocPath string
+	// APIDocPath is the API reference (docs/API.md) whose status-row
+	// tables statusmap checks two-ways against the sentinel errors
+	// referenced in internal/server. Empty disables the cross-check.
+	APIDocPath string
 	// Checks selects a subset of checks by name; nil runs all of them.
 	Checks []string
 }
@@ -352,7 +507,8 @@ type checker interface {
 
 // AllChecks lists every check name, in the order they run.
 func AllChecks() []string {
-	return []string{"metricnames", "latlng", "floateq", "ctxrule", "poolput"}
+	return []string{"metricnames", "latlng", "floateq", "ctxrule", "poolput",
+		"modelmut", "poolescape", "atomiccell", "statusmap"}
 }
 
 func newCheckers(opts Options) ([]checker, error) {
@@ -362,6 +518,10 @@ func newCheckers(opts Options) ([]checker, error) {
 		"floateq":     floateqCheck{},
 		"ctxrule":     ctxruleCheck{},
 		"poolput":     poolputCheck{},
+		"modelmut":    &modelmutCheck{},
+		"poolescape":  poolescapeCheck{},
+		"atomiccell":  atomiccellCheck{},
+		"statusmap":   &statusmapCheck{apiPath: opts.APIDocPath, refs: make(map[string]*sentinelRef)},
 	}
 	names := opts.Checks
 	if names == nil {
@@ -378,19 +538,48 @@ func newCheckers(opts Options) ([]checker, error) {
 	return cs, nil
 }
 
+// CheckTiming records one check's wall-clock cost over the whole run,
+// surfaced by `stmaker-lint -v`.
+type CheckTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
 // Run analyses the packages and returns the surviving diagnostics sorted
 // by position.
 func Run(pkgs []*Package, opts Options) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(pkgs, opts)
+	return diags, err
+}
+
+// RunTimed is Run plus per-check timings. Checks are independent of one
+// another, so each runs on its own goroutine with a private reporter;
+// the merged diagnostics are position-sorted, which keeps the output
+// deterministic regardless of scheduling.
+func RunTimed(pkgs []*Package, opts Options) ([]Diagnostic, []CheckTiming, error) {
 	cs, err := newCheckers(opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	reporters := make([]reporter, len(cs))
+	timings := make([]CheckTiming, len(cs))
+	var wg sync.WaitGroup
+	for i, c := range cs {
+		wg.Add(1)
+		go func(i int, c checker) {
+			defer wg.Done()
+			start := time.Now()
+			for _, p := range pkgs {
+				c.pkg(&reporters[i], p)
+			}
+			c.finish(&reporters[i])
+			timings[i] = CheckTiming{Name: c.name(), Duration: time.Since(start)}
+		}(i, c)
+	}
+	wg.Wait()
 	r := &reporter{}
-	for _, c := range cs {
-		for _, p := range pkgs {
-			c.pkg(r, p)
-		}
-		c.finish(r)
+	for i := range reporters {
+		r.diags = append(r.diags, reporters[i].diags...)
 	}
 	sort.Slice(r.diags, func(i, j int) bool {
 		a, b := r.diags[i].Pos, r.diags[j].Pos
@@ -405,5 +594,5 @@ func Run(pkgs []*Package, opts Options) ([]Diagnostic, error) {
 		}
 		return r.diags[i].Check < r.diags[j].Check
 	})
-	return r.diags, nil
+	return r.diags, timings, nil
 }

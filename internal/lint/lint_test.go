@@ -18,7 +18,7 @@ var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
 // diagnostics against the fixture's // want annotations: every want must
 // be matched by a diagnostic on its line, and every diagnostic must be
 // claimed by a want.
-func golden(t *testing.T, dir, importPath string, checks []string, docFile string) {
+func golden(t *testing.T, dir, importPath string, checks []string, docFile, apiFile string) {
 	t.Helper()
 	fixture := filepath.Join("testdata", "src", dir)
 	pkg, err := LoadDir(fixture, importPath)
@@ -28,6 +28,9 @@ func golden(t *testing.T, dir, importPath string, checks []string, docFile strin
 	opts := Options{Checks: checks}
 	if docFile != "" {
 		opts.DocPath = filepath.Join(fixture, docFile)
+	}
+	if apiFile != "" {
+		opts.APIDocPath = filepath.Join(fixture, apiFile)
 	}
 	diags, err := Run([]*Package{pkg}, opts)
 	if err != nil {
@@ -92,7 +95,7 @@ func golden(t *testing.T, dir, importPath string, checks []string, docFile strin
 
 func TestMetricNames(t *testing.T) {
 	golden(t, "metricnames", "stmaker/internal/lintfixture/metricnames",
-		[]string{"metricnames"}, "OBSERVABILITY.md")
+		[]string{"metricnames"}, "OBSERVABILITY.md", "")
 }
 
 // TestMetricNamesDocGhost covers the doc-side direction of the two-way
@@ -124,15 +127,15 @@ func TestMetricNamesDocGhost(t *testing.T) {
 }
 
 func TestLatLng(t *testing.T) {
-	golden(t, "latlng", "stmaker/internal/lintfixture/latlng", []string{"latlng"}, "")
+	golden(t, "latlng", "stmaker/internal/lintfixture/latlng", []string{"latlng"}, "", "")
 }
 
 func TestFloatEq(t *testing.T) {
-	golden(t, "floateq", "stmaker/internal/lintfixture/floateq", []string{"floateq"}, "")
+	golden(t, "floateq", "stmaker/internal/lintfixture/floateq", []string{"floateq"}, "", "")
 }
 
 func TestCtxRule(t *testing.T) {
-	golden(t, "ctxrule", "stmaker/internal/lintfixture/ctxrule", []string{"ctxrule"}, "")
+	golden(t, "ctxrule", "stmaker/internal/lintfixture/ctxrule", []string{"ctxrule"}, "", "")
 }
 
 // TestCtxRuleOutsideInternal verifies the Background/TODO rule only bites
@@ -154,7 +157,112 @@ func TestCtxRuleOutsideInternal(t *testing.T) {
 }
 
 func TestPoolPut(t *testing.T) {
-	golden(t, "poolput", "stmaker/internal/lintfixture/poolput", []string{"poolput"}, "")
+	golden(t, "poolput", "stmaker/internal/lintfixture/poolput", []string{"poolput"}, "", "")
+}
+
+// TestModelMut covers the Model-immutability dataflow check: direct and
+// nested field writes, element stores, alias chains through locals and
+// range loops, map deletes, and pointer-deref overwrites are flagged;
+// value-chain copies, builders, and suppressed sites are not.
+func TestModelMut(t *testing.T) {
+	golden(t, "modelmut", "stmaker", []string{"modelmut"}, "", "")
+}
+
+// TestPoolEscape covers pooled-memory escape tracking: returns, global
+// stores, goroutine captures, channel sends, and caller-visible stores
+// through parameters are flagged, including through bytes.* passthrough
+// and struct-field aliasing; copies and scalar reads stay clean.
+func TestPoolEscape(t *testing.T) {
+	golden(t, "poolescape", "stmaker/internal/lintfixture/poolescape", []string{"poolescape"}, "", "")
+}
+
+// TestAtomicCell covers the publish-helper discipline for the
+// process-wide atomic.Pointer[Model] cell.
+func TestAtomicCell(t *testing.T) {
+	golden(t, "atomiccell", "stmaker", []string{"atomiccell"}, "", "")
+}
+
+// TestAtomicCellRegistry covers the same discipline for the registry's
+// per-region atomic.Pointer[cellState] cells, including the designated
+// publishers being exempt.
+func TestAtomicCellRegistry(t *testing.T) {
+	golden(t, "atomicreg", "stmaker/internal/registry", []string{"atomiccell"}, "", "")
+}
+
+// TestStatusMap covers the code-side direction of the error-taxonomy
+// check: unmapped sentinels and code-vs-doc status disagreements are
+// reported at the errors.Is site; stdlib sentinels and suppressed
+// internal sentinels are not.
+func TestStatusMap(t *testing.T) {
+	golden(t, "statusmap", "stmaker/internal/server", []string{"statusmap"}, "", "API.md")
+}
+
+// TestStatusMapDocSide asserts the doc-side diagnostics the golden
+// harness filters out: the stale row for ErrGhost (documented, no longer
+// mapped) and the multi-status rows for ErrDouble, each reported at its
+// markdown line.
+func TestStatusMapDocSide(t *testing.T) {
+	fixture := filepath.Join("testdata", "src", "statusmap")
+	pkg, err := LoadDir(fixture, "stmaker/internal/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, Options{
+		Checks:     []string{"statusmap"},
+		APIDocPath: filepath.Join(fixture, "API.md"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docMsgs []string
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, ".md") {
+			docMsgs = append(docMsgs, fmt.Sprintf("line %d: %s", d.Pos.Line, d.Msg))
+		}
+	}
+	if len(docMsgs) != 2 {
+		t.Fatalf("want exactly 2 doc-side diagnostics, got %d: %q", len(docMsgs), docMsgs)
+	}
+	var ghost, double bool
+	for _, m := range docMsgs {
+		if strings.Contains(m, "ErrGhost") && strings.Contains(m, "stale row") {
+			ghost = true
+		}
+		if strings.Contains(m, "ErrDouble") && strings.Contains(m, "multiple statuses") {
+			double = true
+		}
+	}
+	if !ghost || !double {
+		t.Errorf("want a stale-row diagnostic for ErrGhost and a multi-status diagnostic for ErrDouble, got %q", docMsgs)
+	}
+}
+
+// TestRepoSweepClean pins the full-repo sweep at zero findings: every
+// check over every package of this module, with the real doc catalogues.
+// Any future regression against the linted invariants fails here first.
+func TestRepoSweepClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, Options{
+		Checks:     AllChecks(),
+		DocPath:    filepath.Join(root, "docs", "OBSERVABILITY.md"),
+		APIDocPath: filepath.Join(root, "docs", "API.md"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("sweep finding: %s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Msg)
+	}
 }
 
 // TestRunUnknownCheck verifies the check-selection error path.

@@ -1,0 +1,354 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// modelmutCheck enforces the Model immutability contract behind the
+// atomic hot swap (PR 5): once a *stmaker.Model is published through
+// Summarizer.publish, every reader may hold it concurrently with no
+// lock, so nothing may write a field of Model — or store an element
+// into a slice/map reachable from one — anywhere outside the designated
+// builders.
+//
+// The rules, in decreasing order of precedence:
+//
+//   - Writes inside the allowlisted packages (internal/history,
+//     internal/modelio) are legal: they own the model's content types
+//     and their construction/synchronization discipline.
+//   - Writes to a reachable type other than Model itself are legal
+//     inside the package that declares the type (internal/sanitize may
+//     assemble its own Report).
+//   - A field write through a plain local value chain (m.version = 1
+//     where m is a value, not a pointer) is legal everywhere: Go's copy
+//     semantics make it a private copy. This is what keeps publish's
+//     version stamp and FlattenHistoryForAblation's value-copy rebuild
+//     legal without suppressions.
+//   - Everything else — a write through a pointer, an element store
+//     into a slice/map hanging off a reachable value, delete/clear on a
+//     reachable map, and (via the dataflow layer) the same through a
+//     local alias like `keys := m.featureKeys; keys[0] = ...` — is a
+//     violation.
+type modelmutCheck struct {
+	pkgs []*Package
+}
+
+func (*modelmutCheck) name() string { return "modelmut" }
+
+// modelmutExemptPkgs are the import-path suffixes whose packages own
+// model content wholesale: history builds and synchronizes the
+// knowledge structures, modelio is the codec.
+var modelmutExemptPkgs = []string{"internal/history", "internal/modelio"}
+
+func (c *modelmutCheck) pkg(_ *reporter, p *Package) {
+	c.pkgs = append(c.pkgs, p)
+}
+
+func (c *modelmutCheck) finish(r *reporter) {
+	root := findModelType(c.pkgs)
+	if root == nil {
+		return // module (or fixture) has no stmaker.Model — nothing to enforce
+	}
+	reach := reachableNamed(root)
+	for _, p := range c.pkgs {
+		if pkgPathHasSuffix(p.Path, modelmutExemptPkgs...) {
+			continue
+		}
+		c.sweep(r, p, root, reach)
+	}
+}
+
+// findModelType locates the named type Model in the module root package
+// (import path "stmaker", which is also the path golden fixtures load
+// under).
+func findModelType(pkgs []*Package) *types.Named {
+	for _, p := range pkgs {
+		if p.Types.Path() != "stmaker" {
+			continue
+		}
+		if tn, ok := p.Types.Scope().Lookup("Model").(*types.TypeName); ok {
+			if n, ok := tn.Type().(*types.Named); ok {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// reachableNamed computes the set of module-internal named types
+// structurally reachable from root: struct fields, pointer targets,
+// slice/array elements, map keys and values. Methods and interfaces do
+// not extend the set.
+func reachableNamed(root *types.Named) map[*types.TypeName]bool {
+	reach := make(map[*types.TypeName]bool)
+	var visit func(t types.Type)
+	seen := make(map[types.Type]bool)
+	visit = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		if n, ok := t.(*types.Named); ok {
+			obj := n.Obj()
+			if obj.Pkg() == nil || !moduleInternal(obj.Pkg().Path()) {
+				return // stop at stdlib types (sync.Mutex et al)
+			}
+			reach[obj] = true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				visit(u.Field(i).Type())
+			}
+		case *types.Pointer:
+			visit(u.Elem())
+		case *types.Slice:
+			visit(u.Elem())
+		case *types.Array:
+			visit(u.Elem())
+		case *types.Map:
+			visit(u.Key())
+			visit(u.Elem())
+		case *types.Chan:
+			visit(u.Elem())
+		}
+	}
+	visit(root)
+	return reach
+}
+
+// moduleInternal reports whether an import path belongs to this module.
+func moduleInternal(path string) bool {
+	return path == "stmaker" || strings.HasPrefix(path, "stmaker/")
+}
+
+// pkgPathHasSuffix reports whether path ends in one of the given
+// suffixes (so fixtures loaded under short paths match too).
+func pkgPathHasSuffix(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// sweep walks one package's functions for illegal writes.
+func (c *modelmutCheck) sweep(r *reporter, p *Package, root *types.Named, reach map[*types.TypeName]bool) {
+	reachable := func(t types.Type) *types.TypeName {
+		if n := namedType(t); n != nil && reach[n.Obj()] {
+			return n.Obj()
+		}
+		return nil
+	}
+	for _, fd := range p.Funcs {
+		// Seed the dataflow layer with reads that alias model interiors:
+		// a slice/map-typed expression selected or indexed out of a
+		// reachable value shares its backing store with the model.
+		fl := newFlow(p, fd.Body, func(e ast.Expr) bool {
+			switch ex := e.(type) {
+			case *ast.SelectorExpr:
+				t := p.Info.Types[e].Type
+				if t == nil || !sharedBacking(t) {
+					return false
+				}
+				return reachable(p.Info.Types[ex.X].Type) != nil
+			}
+			return false
+		})
+		check := func(lhs ast.Expr) {
+			if tn, msg := c.illegalWrite(p, fl, lhs, root, reachable); tn != nil {
+				r.report(p, c.name(), lhs.Pos(),
+					"write %s of published-model type %s.%s outside its builders: the Model behind the atomic hot swap must stay immutable (construct a fresh value and republish instead)",
+					msg, tn.Pkg().Name(), tn.Name())
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					check(lhs)
+				}
+			case *ast.IncDecStmt:
+				check(st.X)
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "delete" || id.Name == "clear") && len(st.Args) > 0 {
+						if tn := chainReachable(p, st.Args[0], reachable); tn != nil || fl.taintedExpr(st.Args[0]) {
+							if tn == nil {
+								tn = root.Obj()
+							}
+							r.report(p, c.name(), st.Pos(),
+								"%s on a map/slice reachable from published-model type %s.%s outside its builders: the Model behind the atomic hot swap must stay immutable",
+								id.Name, tn.Pkg().Name(), tn.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// illegalWrite classifies one assignment target. It returns the
+// reachable type being mutated and a description, or nil when the write
+// is legal.
+func (c *modelmutCheck) illegalWrite(p *Package, fl *flow, lhs ast.Expr, root *types.Named, reachable func(types.Type) *types.TypeName) (*types.TypeName, string) {
+	switch ex := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		// Field write: illegal when the owning struct is reachable and
+		// the base is shared storage (pointer-backed or aliased).
+		tn := reachable(p.Info.Types[ex.X].Type)
+		if tn == nil {
+			return nil, ""
+		}
+		if !sharedStorage(p, ex.X) && !fl.taintedExpr(ex.X) {
+			return nil, "" // private copy on the stack
+		}
+		if ownerExempt(p, tn, root, ex.X) {
+			return nil, "" // the declaring package may assemble its own types
+		}
+		return tn, "to field " + ex.Sel.Name
+	case *ast.IndexExpr:
+		// Element store: the backing array/map is shared with the model
+		// whenever any step of the chain passes through a reachable
+		// type, regardless of value copies along the way.
+		if tn := chainReachable(p, ex.X, reachable); tn != nil {
+			if ownerExempt(p, tn, root, ex.X) {
+				return nil, ""
+			}
+			if _, isArray := p.Info.Types[ex.X].Type.Underlying().(*types.Array); isArray && !sharedStorage(p, ex.X) {
+				return nil, "" // array element in a private copy
+			}
+			return tn, "into element"
+		}
+		if fl.taintedExpr(ex.X) {
+			// Element store through a local alias of model-backed memory
+			// (keys := m.featureKeys; keys[0] = ...): the dataflow layer
+			// tracked the alias, so attribute it to the root Model.
+			return root.Obj(), "into element of model-aliased memory"
+		}
+	case *ast.StarExpr:
+		if tn := reachable(p.Info.Types[lhs].Type); tn != nil {
+			if ownerExempt(p, tn, root, ex.X) {
+				return nil, ""
+			}
+			return tn, "through pointer dereference"
+		}
+	}
+	return nil, ""
+}
+
+// ownerExempt reports whether a write to type tn is legal because the
+// analyzed package declares tn and is assembling its own value. The
+// exemption never applies to Model itself, and never when the write
+// chain passes through a Model — `m.stats.Trips++` through a *Model is
+// a post-publish mutation no matter who declared TrainStats.
+func ownerExempt(p *Package, tn *types.TypeName, root *types.Named, base ast.Expr) bool {
+	if tn.Name() == "Model" || tn.Pkg() == nil || !samePkg(tn.Pkg(), p.Types) {
+		return false
+	}
+	return !chainHasType(p, base, root)
+}
+
+// chainHasType reports whether any step of an lvalue chain has the
+// named type want (possibly behind pointers).
+func chainHasType(p *Package, e ast.Expr, want *types.Named) bool {
+	for {
+		if n := namedType(p.Info.Types[e].Type); n != nil && n.Obj() == want.Obj() {
+			return true
+		}
+		switch ex := e.(type) {
+		case *ast.SelectorExpr:
+			e = ex.X
+		case *ast.IndexExpr:
+			e = ex.X
+		case *ast.SliceExpr:
+			e = ex.X
+		case *ast.StarExpr:
+			e = ex.X
+		case *ast.ParenExpr:
+			e = ex.X
+		default:
+			return false
+		}
+	}
+}
+
+// chainReachable walks an lvalue chain (selectors, indexes, slices,
+// derefs) and returns the first reachable named type it passes through.
+func chainReachable(p *Package, e ast.Expr, reachable func(types.Type) *types.TypeName) *types.TypeName {
+	for {
+		if tn := reachable(p.Info.Types[e].Type); tn != nil {
+			return tn
+		}
+		switch ex := e.(type) {
+		case *ast.SelectorExpr:
+			e = ex.X
+		case *ast.IndexExpr:
+			e = ex.X
+		case *ast.SliceExpr:
+			e = ex.X
+		case *ast.StarExpr:
+			e = ex.X
+		case *ast.ParenExpr:
+			e = ex.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sharedStorage reports whether an expression designates memory that
+// can be shared beyond the current frame: anything reached through a
+// pointer, interface, slice/map element, or function result. A chain of
+// plain value variables and fields is private.
+func sharedStorage(p *Package, e ast.Expr) bool {
+	for {
+		if t := p.Info.Types[e].Type; t != nil {
+			switch t.Underlying().(type) {
+			case *types.Pointer, *types.Interface:
+				return true
+			}
+		}
+		switch ex := e.(type) {
+		case *ast.Ident:
+			return false
+		case *ast.SelectorExpr:
+			e = ex.X
+		case *ast.ParenExpr:
+			e = ex.X
+		case *ast.IndexExpr:
+			// Indexing a slice or map reaches shared backing storage;
+			// indexing an array value stays in the copy.
+			switch p.Info.Types[ex.X].Type.Underlying().(type) {
+			case *types.Array:
+				e = ex.X
+			default:
+				return true
+			}
+		case *ast.StarExpr:
+			return true
+		default:
+			return true // call results, composite literals, conversions
+		}
+	}
+}
+
+// samePkg reports whether two packages are the same, matching by path
+// so fixtures re-loaded under equal paths compare equal.
+func samePkg(a *types.Package, b *types.Package) bool {
+	return a != nil && b != nil && a.Path() == b.Path()
+}
+
+// sharedBacking reports whether a type's values share backing storage
+// when copied (slices and maps; strings are immutable).
+func sharedBacking(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}

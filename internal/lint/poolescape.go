@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// poolescapeCheck guards the allocation-diet contract from PR 8: a
+// value obtained from sync.Pool.Get — or any slice/map/struct memory it
+// backs, tracked through the dataflow layer — must not outlive the
+// request that Put it back. In any function that calls Put, a tainted
+// value must not be:
+//
+//   - returned (the caller would read recycled memory),
+//   - stored to a heap-reachable location (a package-level variable, or
+//     anything reachable from a parameter/receiver),
+//   - captured by a goroutine or sent on a channel (the consumer races
+//     the Put).
+//
+// Functions without a Put are out of scope: either they never touch a
+// pool, or they are acquire-style helpers whose Get is poolput's
+// business (and is suppressed there with a comment naming the paired
+// release helper).
+type poolescapeCheck struct{}
+
+func (poolescapeCheck) name() string { return "poolescape" }
+
+func (c poolescapeCheck) pkg(r *reporter, p *Package) {
+	for _, fd := range p.Funcs {
+		if !hasPoolPut(p, fd.Body) {
+			continue
+		}
+		seeds := 0
+		fl := newFlow(p, fd.Body, func(e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn := calleeFunc(p, call)
+			if fn != nil && fn.Name() == "Get" && recvIsNamed(fn, "sync", "Pool") {
+				return true
+			}
+			return false
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(p, call); fn != nil && fn.Name() == "Get" && recvIsNamed(fn, "sync", "Pool") {
+					seeds++
+				}
+			}
+			return true
+		})
+		if seeds == 0 {
+			continue
+		}
+		c.sinks(r, p, fd, fl)
+	}
+}
+
+func (poolescapeCheck) finish(*reporter) {}
+
+// hasPoolPut reports whether the body calls sync.Pool.Put anywhere.
+func hasPoolPut(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(p, call); fn != nil && fn.Name() == "Put" && recvIsNamed(fn, "sync", "Pool") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sinks walks the function body for escapes of tainted memory. Return
+// statements inside nested closures are the closure's own, not the
+// function's, so the walk tracks closure depth.
+func (c poolescapeCheck) sinks(r *reporter, p *Package, fd *ast.FuncDecl, fl *flow) {
+	var walk func(n ast.Node, inClosure bool)
+	walk = func(n ast.Node, inClosure bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncLit:
+				walk(st.Body, true)
+				return false
+			case *ast.ReturnStmt:
+				if inClosure {
+					return true
+				}
+				for _, res := range st.Results {
+					if fl.taintedExpr(res) && taintableType(p.Info.Types[res].Type) {
+						r.report(p, c.name(), res.Pos(),
+							"%s returns memory backed by a pooled object that this function Puts back; the caller would read recycled scratch (copy it, or move the Put to a release helper)",
+							fd.Name.Name)
+					}
+				}
+			case *ast.GoStmt:
+				if fl.taintedExpr(st.Call.Fun) {
+					r.report(p, c.name(), st.Call.Pos(),
+						"goroutine captures a pooled object that %s Puts back; the goroutine races the Put and reads recycled scratch", fd.Name.Name)
+					return true
+				}
+				for _, a := range st.Call.Args {
+					if fl.taintedExpr(a) && taintableType(p.Info.Types[a].Type) {
+						r.report(p, c.name(), a.Pos(),
+							"goroutine receives memory backed by a pooled object that %s Puts back; the goroutine races the Put and reads recycled scratch", fd.Name.Name)
+					}
+				}
+			case *ast.SendStmt:
+				if fl.taintedExpr(st.Value) && taintableType(p.Info.Types[st.Value].Type) {
+					r.report(p, c.name(), st.Value.Pos(),
+						"channel send of memory backed by a pooled object that %s Puts back; the receiver races the Put and reads recycled scratch", fd.Name.Name)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					rhs := ast.Expr(nil)
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[i]
+					} else if len(st.Rhs) == 1 {
+						rhs = st.Rhs[0]
+					}
+					if rhs == nil || !fl.taintedExpr(rhs) {
+						continue
+					}
+					if tgt := escapeTarget(p, fd, fl, lhs); tgt != "" {
+						r.report(p, c.name(), lhs.Pos(),
+							"store of memory backed by a pooled object into %s, which outlives the Put in %s; the reader would see recycled scratch", tgt, fd.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+}
+
+// escapeTarget classifies an assignment target as heap-reachable from
+// outside the function: a package-level variable, or storage rooted at
+// a parameter or receiver (which the caller retains). Stores into local
+// variables — including fields of locals — are handled by taint
+// propagation instead, and stores into already-tainted storage (the
+// pooled object's own fields) are the pool's normal reuse pattern.
+func escapeTarget(p *Package, fd *ast.FuncDecl, fl *flow, lhs ast.Expr) string {
+	root := rootIdentObj(p, lhs)
+	v, ok := root.(*types.Var)
+	if !ok {
+		return ""
+	}
+	// The tainted-or-local cases are propagation's business, but a
+	// package-level variable always escapes — even a plain `global = x`
+	// assignment (taint propagation marks it too, which is why this
+	// check runs before the local-rebind short-circuit).
+	if v.Parent() == p.Types.Scope() {
+		return "package-level variable " + v.Name()
+	}
+	if _, plain := ast.Unparen(lhs).(*ast.Ident); plain {
+		return "" // local rebind; propagation tracks it
+	}
+	if fl.taintedObj(v) && !isParamOrRecv(p, fd, v) {
+		return "" // store into the pooled object's own (local) storage
+	}
+	// A parameter or receiver only exposes the store when the written
+	// location is reached through shared storage (a pointer, interface,
+	// or slice/map element) — writing a field of a value-typed parameter
+	// mutates a private copy.
+	if isParamOrRecv(p, fd, v) && sharedStorage(p, lhs) {
+		return "caller-visible storage rooted at parameter " + v.Name()
+	}
+	return ""
+}
+
+// isParamOrRecv reports whether v is one of fd's parameters or its
+// receiver.
+func isParamOrRecv(p *Package, fd *ast.FuncDecl, v *types.Var) bool {
+	def, _ := p.Info.Defs[fd.Name].(*types.Func)
+	if def == nil {
+		return false
+	}
+	sig, _ := def.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	if sig.Recv() == v {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	return false
+}

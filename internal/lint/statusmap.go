@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// statusmapCheck keeps the error taxonomy honest, in the style of
+// metricnames: every module sentinel error the server maps (via
+// errors.Is in internal/server) must be named in exactly one status row
+// of docs/API.md, and every sentinel named in a status row must still
+// be mapped by the server. Where the check can read the HTTP status off
+// the mapping site (a case/if body returning or passing an
+// http.Status* constant), it also cross-checks that the documented row
+// carries the same status. An unmapped sentinel is a silent 500; a
+// stale doc row promises clients a contract the server no longer
+// keeps.
+type sentinelRef struct {
+	pos    token.Position
+	pkg    *Package
+	status int // HTTP status the code maps it to; 0 when not derivable
+}
+
+type statusmapCheck struct {
+	apiPath string
+	refs    map[string]*sentinelRef // sentinel name -> first mapping site
+}
+
+func (*statusmapCheck) name() string { return "statusmap" }
+
+func (c *statusmapCheck) pkg(_ *reporter, p *Package) {
+	if !pkgPathHasSuffix(p.Path, "internal/server") {
+		return
+	}
+	for _, fd := range p.Funcs {
+		visited := make(map[*ast.CallExpr]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.SwitchStmt:
+				for _, clause := range st.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					status := firstHTTPStatus(p, cc.Body)
+					for _, cond := range cc.List {
+						c.collect(p, cond, status, visited)
+					}
+				}
+			case *ast.IfStmt:
+				c.collect(p, st.Cond, firstHTTPStatus(p, []ast.Stmt{st.Body}), visited)
+			}
+			return true
+		})
+		// Any errors.Is reference outside a recognized mapping shape
+		// still counts as "the server handles this sentinel" — just
+		// without a derivable status.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && !visited[call] {
+				c.record(p, call, 0, visited)
+			}
+			return true
+		})
+	}
+}
+
+// collect records every errors.Is(err, Sentinel) call under expr with
+// the given status.
+func (c *statusmapCheck) collect(p *Package, expr ast.Expr, status int, visited map[*ast.CallExpr]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			c.record(p, call, status, visited)
+		}
+		return true
+	})
+}
+
+// record notes one errors.Is(err, Sentinel) mapping site when the
+// sentinel is a module-internal package-level error variable.
+func (c *statusmapCheck) record(p *Package, call *ast.CallExpr, status int, visited map[*ast.CallExpr]bool) {
+	fn := calleeFunc(p, call)
+	if !isPkgFunc(fn, "errors", "Is") || len(call.Args) != 2 {
+		return
+	}
+	visited[call] = true
+	obj := sentinelVar(p, call.Args[1])
+	if obj == nil {
+		return
+	}
+	name := obj.Name()
+	if ref, ok := c.refs[name]; ok {
+		if ref.status == 0 {
+			ref.status = status
+		}
+		return
+	}
+	c.refs[name] = &sentinelRef{pos: p.Fset.Position(call.Args[1].Pos()), pkg: p, status: status}
+}
+
+// sentinelVar resolves expr to a module-internal package-level Err*
+// variable, or nil. Stdlib sentinels (context.Canceled, bufio.ErrTooLong)
+// are deliberately out of scope: the taxonomy table documents them by
+// status class, not by name.
+func sentinelVar(p *Package, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch ex := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = ex
+	case *ast.SelectorExpr:
+		id = ex.Sel
+	default:
+		return nil
+	}
+	v, ok := p.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // not package-level
+	}
+	// Same module as the server package being analyzed: compare the
+	// leading path segment, so fixtures loaded under short paths work
+	// and the stdlib never matches.
+	if firstSeg(v.Pkg().Path()) != firstSeg(p.Path) {
+		return nil
+	}
+	return v
+}
+
+func firstSeg(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// firstHTTPStatus scans statements for the first net/http Status*
+// constant — the `return http.StatusX` of statusForError's cases, or
+// the `fail(http.StatusX, ...)` of the ingest handler.
+func firstHTTPStatus(p *Package, body []ast.Stmt) int {
+	status := 0
+	for _, st := range body {
+		if status != 0 {
+			break
+		}
+		ast.Inspect(st, func(n ast.Node) bool {
+			if status != 0 {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			cn, ok := p.Info.Uses[sel.Sel].(*types.Const)
+			if !ok || cn.Pkg() == nil || cn.Pkg().Path() != "net/http" || !strings.HasPrefix(cn.Name(), "Status") {
+				return true
+			}
+			if v, exact := constant.Int64Val(cn.Val()); exact && v >= 100 && v <= 599 {
+				status = int(v)
+			}
+			return true
+		})
+	}
+	return status
+}
+
+// statusRowRE matches a markdown status-table row: `| 404 Not Found | … |`.
+var statusRowRE = regexp.MustCompile(`^\s*\|\s*(\d{3})\b`)
+
+// docSentinelRE extracts backticked sentinel names, optionally
+// package-qualified: `stmaker.ErrModelNotFound`, `ErrInvalidModel`.
+var docSentinelRE = regexp.MustCompile("`(?:[a-z][a-zA-Z0-9]*\\.)?(Err[A-Z][A-Za-z0-9]*)`")
+
+// docStatusRows parses the API reference and returns, per sentinel
+// name, the statuses of the rows naming it with the first line each
+// appears on.
+func docStatusRows(path string) (map[string]map[int]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rows := make(map[string]map[int]int) // sentinel -> status -> first line
+	fenced := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		m := statusRowRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		status, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		for _, sm := range docSentinelRE.FindAllStringSubmatch(line, -1) {
+			name := sm[1]
+			if rows[name] == nil {
+				rows[name] = make(map[int]int)
+			}
+			if _, ok := rows[name][status]; !ok {
+				rows[name][status] = i + 1
+			}
+		}
+	}
+	return rows, nil
+}
+
+func (c *statusmapCheck) finish(r *reporter) {
+	if c.apiPath == "" {
+		return
+	}
+	rows, err := docStatusRows(c.apiPath)
+	if err != nil {
+		r.reportAt(c.name(), token.Position{Filename: c.apiPath, Line: 1},
+			"cannot read API reference: %v", err)
+		return
+	}
+	for name, ref := range c.refs {
+		docStatuses := rows[name]
+		if len(docStatuses) == 0 {
+			if !ref.pkg.suppressed(c.name(), ref.pos) {
+				r.reportAt(c.name(), ref.pos,
+					"sentinel error %s is mapped by internal/server but named in no status row of %s; document its status so clients can rely on it", name, c.apiPath)
+			}
+			continue
+		}
+		if len(docStatuses) > 1 {
+			statuses := make([]int, 0, len(docStatuses))
+			line := 0
+			for s, l := range docStatuses {
+				statuses = append(statuses, s)
+				if line == 0 || l < line {
+					line = l
+				}
+			}
+			sort.Ints(statuses)
+			r.reportAt(c.name(), token.Position{Filename: c.apiPath, Line: line},
+				"sentinel error %s is documented under multiple statuses %v; the taxonomy maps each sentinel to exactly one", name, statuses)
+			continue
+		}
+		if ref.status != 0 {
+			for docStatus := range docStatuses {
+				if docStatus != ref.status && !ref.pkg.suppressed(c.name(), ref.pos) {
+					r.reportAt(c.name(), ref.pos,
+						"internal/server maps %s to HTTP %d but %s documents it under %d", name, ref.status, c.apiPath, docStatus)
+				}
+			}
+		}
+	}
+	for name, statuses := range rows {
+		if _, ok := c.refs[name]; ok {
+			continue
+		}
+		line := 0
+		for _, l := range statuses {
+			if line == 0 || l < line {
+				line = l
+			}
+		}
+		r.reportAt(c.name(), token.Position{Filename: c.apiPath, Line: line},
+			"status table documents sentinel %s but internal/server no longer maps it (stale row)", name)
+	}
+}

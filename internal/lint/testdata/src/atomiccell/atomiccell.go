@@ -1,0 +1,51 @@
+// Package stmaker is a lint fixture: publish discipline for the
+// process-wide atomic.Pointer[Model] cell. Loaded under import path
+// "stmaker" so Model matches the guarded cell type.
+package stmaker
+
+import "sync/atomic"
+
+type Model struct{ version uint64 }
+
+type summarizer struct {
+	model *atomic.Pointer[Model]
+}
+
+// publish is the designated helper: the raw Store is legal here.
+func publish(s *summarizer, m Model) {
+	m.version++
+	s.model.Store(&m)
+}
+
+// hotSwapBypass is the acceptance-criteria violation: a raw .Store on a
+// guarded cell outside the publish helper.
+func hotSwapBypass(s *summarizer, m *Model) {
+	s.model.Store(m) // want "direct .Store on atomic.Pointer"
+}
+
+func swapBypass(s *summarizer, m *Model) *Model {
+	return s.model.Swap(m) // want "direct .Swap on atomic.Pointer"
+}
+
+func casBypass(s *summarizer, m *Model) {
+	s.model.CompareAndSwap(nil, m) // want "direct .CompareAndSwap on atomic.Pointer"
+}
+
+// loadOK reads the cell: reads are everyone's right.
+func loadOK(s *summarizer) *Model {
+	return s.model.Load()
+}
+
+// suppressedStore carries a justified suppression.
+func suppressedStore(s *summarizer, m *Model) {
+	s.model.Store(m) //nolint:stmaker/atomiccell -- fixture: documented migration shim with its own version stamp
+}
+
+// other cells are not guarded.
+type other struct{ n int }
+
+var cell atomic.Pointer[other]
+
+func unrelated(o *other) {
+	cell.Store(o)
+}

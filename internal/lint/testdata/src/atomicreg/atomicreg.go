@@ -1,0 +1,28 @@
+// Package registry is a lint fixture: publish discipline for the
+// per-region atomic.Pointer[cellState] cells. Loaded under import path
+// "stmaker/internal/registry" so cellState matches the guarded type and
+// the allowlisted function names resolve.
+package registry
+
+import "sync/atomic"
+
+type cellState struct{ bytes int64 }
+
+type cell struct {
+	state atomic.Pointer[cellState]
+}
+
+// The four designated publishers mirror the real registry's.
+
+func NewStatic(c *cell, st *cellState) { c.state.Store(st) }
+
+func load(c *cell, st *cellState) { c.state.Store(st) }
+
+func evictLocked(c *cell) *cellState { return c.state.Swap(nil) }
+
+func reload(c *cell, st *cellState) { c.state.Store(st) }
+
+// rawEvict bypasses the eviction accounting.
+func rawEvict(c *cell) {
+	c.state.Store(nil) // want "direct .Store on atomic.Pointer"
+}

@@ -1,0 +1,98 @@
+// Package stmaker is a lint fixture: Model immutability cases. It is
+// loaded under import path "stmaker" so its Model plays the role of the
+// real published model type.
+package stmaker
+
+// FeatureMap stands in for history.FeatureMap: map-backed model content.
+type FeatureMap struct {
+	sums map[string][]float64
+}
+
+// TrainStats stands in for the value-typed stats block.
+type TrainStats struct {
+	Trips int
+}
+
+// Model is the root of the reachability set.
+type Model struct {
+	version     uint64
+	featureKeys []string
+	stats       TrainStats
+	featMap     *FeatureMap
+}
+
+// publish stamps the version on its private value copy before the swap
+// — the designated-publisher pattern, legal without suppression.
+func publish(m Model) *Model {
+	m.version++
+	return &m
+}
+
+// flatten rebuilds from a value copy; field writes on the copy are
+// plain Go copy semantics, legal.
+func flatten(m *Model) Model {
+	flat := *m
+	flat.featMap = nil
+	return flat
+}
+
+// mutatePublished is the post-publish Model field write the check exists
+// to catch.
+func mutatePublished(m *Model) {
+	m.version = 7 // want "write to field version"
+}
+
+// mutateNested writes a value-typed field through a *Model chain.
+func mutateNested(m *Model) {
+	m.stats.Trips++ // want "write to field Trips"
+}
+
+// elemStore mutates the shared backing array of a model slice.
+func elemStore(m *Model) {
+	m.featureKeys[0] = "x" // want "write into element"
+}
+
+// aliasWrite mutates model memory through a function-local alias; the
+// dataflow layer tracks the assignment.
+func aliasWrite(m *Model) {
+	keys := m.featureKeys
+	keys[0] = "x" // want "model-aliased memory"
+}
+
+// rangeAlias mutates model memory through a range-loop variable.
+func rangeAlias(m *Model) {
+	for _, s := range m.featMap.sums {
+		s[0] = 1 // want "model-aliased memory"
+	}
+}
+
+// deleteKey shrinks a model map in place.
+func deleteKey(m *Model) {
+	delete(m.featMap.sums, "k") // want "delete on a map"
+}
+
+// derefOverwrite replaces a published Model through its pointer.
+func derefOverwrite(dst, src *Model) {
+	*dst = *src // want "through pointer dereference"
+}
+
+// suppressedWrite carries a justified suppression.
+func suppressedWrite(m *Model) {
+	m.version = 1 //nolint:stmaker/modelmut -- fixture: documented single-writer migration shim
+}
+
+// scratch is not reachable from Model: writes to it are out of scope.
+type scratch struct{ buf []float64 }
+
+func unrelated(s *scratch) {
+	s.buf[0] = 1
+	s.buf = nil
+}
+
+// localValue exercises plain value writes: all legal.
+func localValue() Model {
+	var m Model
+	m.version = 1
+	m.stats.Trips = 2
+	return m
+}

@@ -1,0 +1,131 @@
+// Package poolescape is a lint fixture: escapes of pooled scratch
+// memory from functions that Put it back.
+package poolescape
+
+import (
+	"bytes"
+	"sync"
+)
+
+type buf struct {
+	data []byte
+	n    int
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+var global []byte
+
+var ch = make(chan []byte, 1)
+
+type resp struct{ Data []byte }
+
+// returned is the acceptance-criteria violation: a returned pooled
+// buffer whose Put runs before the caller reads it.
+func returned() []byte {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	return b.data // want "returns memory backed by a pooled object"
+}
+
+// copied returns a fresh copy: clean.
+func copied() []byte {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	out := make([]byte, len(b.data))
+	copy(out, b.data)
+	return out
+}
+
+// intLeak returns a scalar read out of the pooled object: scalars
+// cannot carry the alias, clean.
+func intLeak() int {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	return b.n
+}
+
+// stored escapes through a package-level variable.
+func stored() {
+	b := pool.Get().(*buf)
+	global = b.data // want "store of memory backed by a pooled object into package-level variable global"
+	pool.Put(b)
+}
+
+// leaked hands the pooled object to a goroutine that races the Put.
+func leaked() {
+	b := pool.Get().(*buf)
+	go func() { _ = b.data }() // want "goroutine captures a pooled object"
+	pool.Put(b)
+}
+
+// sent escapes through a channel.
+func sent() {
+	b := pool.Get().(*buf)
+	ch <- b.data // want "channel send of memory backed by a pooled object"
+	pool.Put(b)
+}
+
+// intoParam escapes through caller-visible storage.
+func intoParam(r *resp) {
+	b := pool.Get().(*buf)
+	r.Data = b.data // want "caller-visible storage rooted at parameter r"
+	pool.Put(b)
+}
+
+// intoValueParam writes a field of a value-typed parameter: a private
+// copy, clean.
+func intoValueParam(r resp) {
+	b := pool.Get().(*buf)
+	r.Data = b.data
+	pool.Put(b)
+}
+
+// trimmed escapes through a bytes passthrough that sub-slices its
+// input.
+func trimmed() []byte {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	return bytes.TrimSpace(b.data) // want "returns memory backed by a pooled object"
+}
+
+// aliased escapes through a struct-field alias and a local copy — the
+// dataflow layer tracks both steps.
+func aliased() []byte {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	var r resp
+	r.Data = b.data
+	out := r
+	return out.Data // want "returns memory backed by a pooled object"
+}
+
+// writeOut uses the pooled buffer before the deferred Put and never
+// leaks it: the writeBatchItem pattern, clean.
+func writeOut(w interface{ Write([]byte) (int, error) }) {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	_, _ = w.Write(bytes.TrimSpace(b.data))
+}
+
+// reset recycles the pooled object's own storage: the normal reuse
+// pattern, clean.
+func reset() {
+	b := pool.Get().(*buf)
+	b.data = append(b.data[:0], 'x')
+	pool.Put(b)
+}
+
+// acquire has no Put: poolput's domain, not poolescape's.
+func acquire() *buf {
+	return pool.Get().(*buf) //nolint:stmaker/poolput -- fixture: released by callers via release()
+}
+
+func release(b *buf) { pool.Put(b) }
+
+// suppressedEscape carries a justified suppression.
+func suppressedEscape() []byte {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	return b.data //nolint:stmaker/poolescape -- fixture: documented single-threaded fast path
+}

@@ -1,0 +1,47 @@
+// Package server is a lint fixture: sentinel-error/status taxonomy
+// cases. Loaded under import path "stmaker/internal/server" so the
+// check treats it as the server package.
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+)
+
+var (
+	ErrNotTrained = errors.New("not trained")
+	ErrUnknown    = errors.New("unknown region")
+	ErrUnmapped   = errors.New("unmapped")
+	ErrMismatch   = errors.New("mismatch")
+	ErrDouble     = errors.New("double")
+	ErrBuffer     = errors.New("buffer full")
+	ErrInternal   = errors.New("internal detail")
+)
+
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, ErrNotTrained):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknown):
+		return http.StatusNotFound
+	case errors.Is(err, ErrUnmapped): // want "named in no status row"
+		return http.StatusTeapot
+	case errors.Is(err, ErrMismatch): // want "documents it under 404"
+		return http.StatusInternalServerError
+	case errors.Is(err, ErrDouble):
+		return http.StatusTeapot
+	case errors.Is(err, ErrInternal): //nolint:stmaker/statusmap -- fixture: internal-only sentinel, never surfaced to clients
+		return http.StatusConflict
+	case errors.Is(err, io.ErrUnexpectedEOF): // stdlib sentinel: out of scope
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// handle mirrors the ingest handler's if-shaped mapping.
+func handle(err error, fail func(int, string)) {
+	if errors.Is(err, ErrBuffer) {
+		fail(http.StatusTooManyRequests, "retry later")
+	}
+}

@@ -161,7 +161,11 @@ type cellState struct {
 // cell is one region: its discovery-time metadata plus the atomically
 // swapped loaded state. Loads are single-flight per cell (mu); state
 // transitions (load, evict) happen only under the registry's budget
-// lock so byte accounting and the loaded set never diverge.
+// lock so byte accounting and the loaded set never diverge. The
+// designated publishers — NewStatic, load, evictLocked, reload — are
+// the only functions allowed to swap the state pointer; `make lint`
+// (atomiccell) rejects a raw .Store/.Swap anywhere else, because a
+// bypass would desynchronize the byte accounting from the loaded set.
 type cell struct {
 	name      string
 	dir       string

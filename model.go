@@ -282,6 +282,9 @@ func (s *Summarizer) featureKeys() []string {
 // the old complete model or the new complete model, never a mix. The
 // model is passed by value so the published copy is owned here and the
 // caller's Model (possibly shared or re-loaded elsewhere) is not mutated.
+// This is the cell's sole designated publisher: `make lint` (atomiccell)
+// rejects any other .Store/.Swap on the model cell, and (modelmut) any
+// in-place write to a Model outside the builders.
 func (s *Summarizer) publish(m Model) *Model {
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()

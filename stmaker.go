@@ -232,7 +232,10 @@ type Summarizer struct {
 
 // pipeScratch is one request's reusable pipeline scratch: everything
 // summarizeSymbolic needs that would otherwise be allocated per call
-// and die young. Nothing in here is referenced by the returned Summary.
+// and die young. Nothing in here is referenced by the returned Summary
+// — the contract `make lint` (poolescape) enforces at every Get/Put
+// site: an alias escaping into the Summary would be overwritten by the
+// next request that draws the same scratch.
 type pipeScratch struct {
 	mat   feature.MatrixBuf
 	norm  feature.MatrixBuf

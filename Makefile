@@ -1,5 +1,5 @@
 # Tier-1 gate: every change must keep `make check` green.
-.PHONY: check build vet lint test bench bench-smoke fuzz-smoke ingest-soak load-smoke
+.PHONY: check build vet lint test bench bench-smoke bench-routing fuzz-smoke ingest-soak load-smoke
 
 check: build vet lint test
 
@@ -26,9 +26,17 @@ bench:
 
 # One iteration of every benchmark: catches benchmarks that panic, fail
 # their setup, or silently rot, without the minutes a real run costs.
+# This includes the routing-engine pairs (BenchmarkShortestPathALT,
+# BenchmarkHMMMatch100PointsALT, BenchmarkTrainOverlay) so the ALT
+# overlay path is exercised on every CI build.
 # Run on every CI build; use `make bench` for real measurements.
 bench-smoke:
 	go test -run='^$$' -bench=. -benchtime=1x ./...
+
+# The Dijkstra-vs-ALT routing comparison that feeds BENCH_routing.json;
+# see docs/PERFORMANCE.md "Precomputed routing".
+bench-routing:
+	go test -run='^$$' -bench='ShortestPath|HMMMatch|TrainOverlay' -benchmem -count=5 ./internal/roadnet/
 
 # Short randomized smoke of the fuzz targets (~30s total): enough to
 # catch shallow regressions on every CI run without a dedicated fuzz

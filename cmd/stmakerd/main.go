@@ -94,6 +94,7 @@ func main() {
 		noSanitize   = flag.Bool("no-sanitize", false, "disable input repair (sanitization) before calibration")
 		useHMM       = flag.Bool("hmm", false, "use HMM (Viterbi) map matching for routing features")
 		spCache      = flag.Int("sp-cache", 0, "shortest-path cache entries for HMM matching (0 default, <0 disables)")
+		overlayK     = flag.Int("overlay-landmarks", 0, "ALT routing-overlay landmarks precomputed at train time (0 default, <0 disables)")
 		modelDir     = flag.String("model-dir", "", "serve every region under this directory (multi-region mode)")
 		modelBudget  = flag.Int64("model-budget", 0, "memory budget in bytes for loaded region models (LRU eviction beyond; 0 unlimited)")
 		preload      = flag.String("preload", "auto", "regions to load at boot: auto (first loadable), none, all, or a comma-separated list")
@@ -169,6 +170,7 @@ func main() {
 			sanitize:     !*noSanitize,
 			hmm:          *useHMM,
 			spCache:      *spCache,
+			overlayK:     *overlayK,
 		})
 		return
 	}
@@ -183,10 +185,11 @@ func main() {
 		fatal(logger, err)
 	}
 	cfg := stmaker.Config{
-		Graph:          graph,
-		Landmarks:      lms,
-		UseHMMMatching: *useHMM,
-		SPCacheEntries: *spCache,
+		Graph:            graph,
+		Landmarks:        lms,
+		UseHMMMatching:   *useHMM,
+		SPCacheEntries:   *spCache,
+		OverlayLandmarks: *overlayK,
 	}
 	if !*noSanitize {
 		cfg.Sanitize = &sanitize.Options{}
@@ -325,6 +328,7 @@ type multiConfig struct {
 	sanitize     bool
 	hmm          bool
 	spCache      int
+	overlayK     int
 }
 
 // serveMultiRegion is the -model-dir serving path: discover regions,
@@ -337,11 +341,12 @@ func serveMultiRegion(logger *slog.Logger, cfg multiConfig) {
 		MaxBytes: cfg.budget,
 		NewSummarizer: func(g *roadnet.Graph, lms *landmark.Set, mx *metrics.Registry) (*stmaker.Summarizer, error) {
 			scfg := stmaker.Config{
-				Graph:          g,
-				Landmarks:      lms,
-				Metrics:        mx,
-				UseHMMMatching: cfg.hmm,
-				SPCacheEntries: cfg.spCache,
+				Graph:            g,
+				Landmarks:        lms,
+				Metrics:          mx,
+				UseHMMMatching:   cfg.hmm,
+				SPCacheEntries:   cfg.spCache,
+				OverlayLandmarks: cfg.overlayK,
 			}
 			if cfg.sanitize {
 				scfg.Sanitize = &sanitize.Options{}

@@ -99,15 +99,21 @@ func (s *Summarizer) AccumulateHistory(acc *HistoryAccumulator, sym *traj.Symbol
 // accumulation must continue, freeze a Clone under the ingestion lock
 // and build from the clone.
 func (s *Summarizer) BuildIncrementalModel(acc *HistoryAccumulator) *Model {
+	stats := TrainStats{
+		Calibrated:  acc.trips,
+		Transitions: acc.featMap.NumEdges(),
+	}
+	// Compactions run continuously, so the overlay (a function of the
+	// graph alone) is carried forward from the serving model; only the
+	// very first compaction after a cold start pays the build.
+	overlay := s.routingOverlay(&stats)
 	return &Model{
 		featureKeys:             s.featureKeys(),
 		calibrationRadiusMeters: s.cfg.CalibrationRadiusMeters,
 		minAnchorSpacingMeters:  s.cfg.MinAnchorSpacingMeters,
-		stats: TrainStats{
-			Calibrated:  acc.trips,
-			Transitions: acc.featMap.NumEdges(),
-		},
-		popular: history.BuildPopularFromSequences(acc.seqs),
-		featMap: acc.featMap,
+		stats:                   stats,
+		popular:                 history.BuildPopularFromSequences(acc.seqs),
+		featMap:                 acc.featMap,
+		overlay:                 overlay,
 	}
 }

@@ -104,6 +104,15 @@ func (fl *flow) taintedExpr(e ast.Expr) bool {
 	if fl.seed(e) {
 		return true
 	}
+	// A value whose type cannot carry a reference is never tainted, no
+	// matter where it was read from: `x := buf[i]` copies a float64 out
+	// of seeded memory, it does not alias it. Without this filter an
+	// element copy through an index expression would taint its target
+	// (taintedExpr(IndexExpr) recurses into the base) and falsely flag
+	// scratch buffers that only ever receive scalar copies.
+	if tv, ok := fl.p.Info.Types[e]; ok && tv.Type != nil && !taintableType(tv.Type) {
+		return false
+	}
 	switch ex := e.(type) {
 	case *ast.Ident:
 		if o := fl.p.Info.Uses[ex]; o != nil {

@@ -13,12 +13,22 @@ type TrainStats struct {
 	Trips int
 }
 
+// Overlay stands in for roadnet.Overlay: the precomputed ALT routing
+// tables hung off the model (PR 10). The dense rows are shared by every
+// reader of the published model, so they join the reachability set.
+type Overlay struct {
+	landmarks []int
+	fwd       [][]float64
+	bwd       [][]float64
+}
+
 // Model is the root of the reachability set.
 type Model struct {
 	version     uint64
 	featureKeys []string
 	stats       TrainStats
 	featMap     *FeatureMap
+	overlay     *Overlay
 }
 
 // publish stamps the version on its private value copy before the swap
@@ -74,6 +84,45 @@ func deleteKey(m *Model) {
 // derefOverwrite replaces a published Model through its pointer.
 func derefOverwrite(dst, src *Model) {
 	*dst = *src // want "through pointer dereference"
+}
+
+// overlayCellWrite pokes a routing-table cell behind a published model:
+// a served ShortestPath could read the corrupted bound mid-query.
+func overlayCellWrite(m *Model) {
+	m.overlay.fwd[0][1] = 3 // want "write into element"
+}
+
+// overlayRepoint swaps the landmark set on a live overlay.
+func overlayRepoint(m *Model) {
+	m.overlay.landmarks = nil // want "write to field landmarks"
+}
+
+// overlayAlias mutates table memory through a local alias of a row.
+func overlayAlias(m *Model) {
+	row := m.overlay.bwd[0]
+	row[2] = 1 // want "model-aliased memory"
+}
+
+// overlayScalarCopy reads table cells into private scratch: a float64
+// copied out of model memory carries no alias, so filling (and later
+// overwriting) the scratch is legal. This is the ALT engine's
+// per-search bound aggregation pattern.
+func overlayScalarCopy(m *Model, scratch []float64) {
+	row := m.overlay.fwd[0]
+	scratch[0] = row[1]
+	scratch[1] = m.overlay.bwd[0][2]
+	scratch[0] = 0
+}
+
+// buildOverlay assembles a fresh overlay that no model points at yet:
+// the declaring package filling its own tables is the builder path.
+func buildOverlay(k, n int) *Overlay {
+	o := &Overlay{landmarks: make([]int, k), fwd: make([][]float64, k)}
+	for i := range o.fwd {
+		o.fwd[i] = make([]float64, n)
+		o.fwd[i][0] = 0
+	}
+	return o
 }
 
 // suppressedWrite carries a justified suppression.

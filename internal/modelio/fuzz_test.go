@@ -2,7 +2,10 @@ package modelio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
+	"math"
 	"testing"
 )
 
@@ -30,6 +33,34 @@ func FuzzReadModel(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("STMM"))
 	f.Add(seed.Bytes()[:headerSize])
+	// A format-2 model carrying a routing overlay (with an +Inf
+	// unreachable entry), so the fuzzer explores the overlay decoder.
+	var ovSeed bytes.Buffer
+	if _, err := Write(&ovSeed, &Model{
+		Version:     4,
+		FeatureKeys: []string{"GR"},
+		Categorical: []bool{false},
+		Overlay: &Overlay{
+			NumNodes:  3,
+			Landmarks: []int{1, 0},
+			Fwd:       [][]float64{{250, 0, 250}, {0, 250, math.Inf(1)}},
+			Bwd:       [][]float64{{250, 0, math.Inf(1)}, {0, 250, 500}},
+		},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ovSeed.Bytes())
+	// The same model as a version-1 file: the seed payload minus the
+	// absent-overlay flag byte under a version-1 header, exercising the
+	// backward-compat arm.
+	v2 := seed.Bytes()
+	v1payload := v2[headerSize : len(v2)-1]
+	v1 := make([]byte, headerSize)
+	copy(v1, v2[:headerSize])
+	binary.LittleEndian.PutUint16(v1[4:], 1)
+	binary.LittleEndian.PutUint64(v1[8:], uint64(len(v1payload)))
+	binary.LittleEndian.PutUint32(v1[16:], crc32.Checksum(v1payload, crcTable))
+	f.Add(append(v1, v1payload...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Read(bytes.NewReader(data))
 		if err != nil {

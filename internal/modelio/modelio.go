@@ -28,10 +28,21 @@
 //	    uv from, uv to, uv n, dims × f64 sums,
 //	    uv #catDims, each: uv dim (ascending, categorical),
 //	      uv #values, each: f64 value (ascending), uv count
+//	  [format >= 2] u8 overlayPresent, when 1:
+//	    uv numNodes, uv numLandmarks, numLandmarks × uv landmark node id,
+//	    numLandmarks × numNodes f64 forward distances (landmark → node),
+//	    numLandmarks × numNodes f64 backward distances (node → landmark)
+//
+// Version 2 added the precomputed ALT routing overlay. Files written by
+// version 1 still load — the overlay simply comes back absent, and the
+// serving layer falls back to the plain Dijkstra engine. Read never
+// rejects a file for being old, only for being malformed.
 //
 // Encoding is deterministic: Write sorts edges, categorical dimensions
-// and histogram values, so saving the same model twice yields identical
-// bytes — which makes "the files differ" a meaningful signal.
+// and histogram values (the overlay's landmark order is meaningful —
+// farthest-point selection order — and is preserved as given), so saving
+// the same model twice yields identical bytes — which makes "the files
+// differ" a meaningful signal.
 package modelio
 
 import (
@@ -47,8 +58,13 @@ import (
 	"stmaker/internal/sanitize"
 )
 
-// FormatVersion identifies the on-disk binary schema.
-const FormatVersion = 1
+// FormatVersion identifies the on-disk binary schema Write produces.
+// Read accepts every version from OldestFormatVersion up to this one.
+const FormatVersion = 2
+
+// OldestFormatVersion is the oldest on-disk schema Read still accepts:
+// version 1 files (pre-overlay) load with an absent overlay.
+const OldestFormatVersion = 1
 
 // magic is the file signature ("STMaker Model").
 var magic = [4]byte{'S', 'T', 'M', 'M'}
@@ -64,6 +80,10 @@ const (
 	maxKeyLen       = 256
 	maxLandmarkID   = math.MaxInt32
 	maxCount        = math.MaxInt32
+	// maxOverlayLandmarks caps the routing overlay's landmark count; real
+	// overlays use ~16 (roadnet.DefaultOverlayLandmarks), so anything near
+	// this limit is hostile input.
+	maxOverlayLandmarks = 1 << 10
 )
 
 // ErrInvalidModel marks any structural failure of a model file: bad
@@ -100,6 +120,21 @@ type Model struct {
 	Categorical []bool
 	// Edges are the historical feature map's per-transition aggregates.
 	Edges []Edge
+	// Overlay is the precomputed ALT routing overlay, nil when the model
+	// carries none (overlay disabled, or a version-1 file).
+	Overlay *Overlay
+}
+
+// Overlay is the codec's view of a precomputed ALT routing overlay:
+// landmark node ids (in selection order) and their dense forward
+// (landmark → node) and backward (node → landmark) distance tables over
+// the road graph's NumNodes nodes. Distances are meters; +Inf marks an
+// unreachable pair (legitimate on directed graphs).
+type Overlay struct {
+	NumNodes  int
+	Landmarks []int
+	Fwd       [][]float64
+	Bwd       [][]float64
 }
 
 // Stats mirrors the corpus statistics of stmaker.TrainStats (transitions
@@ -166,8 +201,10 @@ func Read(r io.Reader) (*Model, error) {
 	if !bytes.Equal(header[:4], magic[:]) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrInvalidModel, header[:4])
 	}
-	if v := binary.LittleEndian.Uint16(header[4:]); v != FormatVersion {
-		return nil, fmt.Errorf("%w: unsupported format version %d", ErrInvalidModel, v)
+	version := binary.LittleEndian.Uint16(header[4:])
+	if version < OldestFormatVersion || version > FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d (this build reads %d..%d)",
+			ErrInvalidModel, version, OldestFormatVersion, FormatVersion)
 	}
 	if v := binary.LittleEndian.Uint16(header[6:]); v != 0 {
 		return nil, fmt.Errorf("%w: reserved header field is %d, want 0", ErrInvalidModel, v)
@@ -188,7 +225,7 @@ func Read(r io.Reader) (*Model, error) {
 	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(header[16:]); got != want {
 		return nil, fmt.Errorf("%w: checksum mismatch (payload %08x, header %08x)", ErrInvalidModel, got, want)
 	}
-	return decodePayload(payload)
+	return decodePayload(payload, int(version))
 }
 
 // --- encoding ---
@@ -254,6 +291,45 @@ func encodePayload(m *Model) ([]byte, error) {
 		var err error
 		if buf, err = appendEdge(buf, e, m.Categorical); err != nil {
 			return nil, err
+		}
+	}
+	return appendOverlay(buf, m.Overlay)
+}
+
+func appendOverlay(buf []byte, o *Overlay) ([]byte, error) {
+	if o == nil {
+		return append(buf, 0), nil
+	}
+	k := len(o.Landmarks)
+	if k == 0 || k > maxOverlayLandmarks {
+		return nil, fmt.Errorf("modelio: overlay has %d landmarks (want 1..%d)", k, maxOverlayLandmarks)
+	}
+	if o.NumNodes <= 0 || o.NumNodes > maxLandmarkID {
+		return nil, fmt.Errorf("modelio: overlay node count %d out of range", o.NumNodes)
+	}
+	if len(o.Fwd) != k || len(o.Bwd) != k {
+		return nil, fmt.Errorf("modelio: overlay has %d landmarks but %d/%d table rows", k, len(o.Fwd), len(o.Bwd))
+	}
+	buf = append(buf, 1)
+	buf = binary.AppendUvarint(buf, uint64(o.NumNodes))
+	buf = binary.AppendUvarint(buf, uint64(k))
+	for i, id := range o.Landmarks {
+		if id < 0 || id >= o.NumNodes {
+			return nil, fmt.Errorf("modelio: overlay landmark %d is node %d, graph has %d nodes", i, id, o.NumNodes)
+		}
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	for _, table := range [2][][]float64{o.Fwd, o.Bwd} {
+		for i, row := range table {
+			if len(row) != o.NumNodes {
+				return nil, fmt.Errorf("modelio: overlay table row %d has %d entries, want %d", i, len(row), o.NumNodes)
+			}
+			for _, v := range row {
+				if math.IsNaN(v) || v < 0 {
+					return nil, fmt.Errorf("modelio: overlay distance %v invalid", v)
+				}
+				buf = appendF64(buf, v)
+			}
 		}
 	}
 	return buf, nil
@@ -368,7 +444,7 @@ func (d *decoder) intField(what string, max uint64) (int, error) {
 	return int(v), nil
 }
 
-func decodePayload(payload []byte) (*Model, error) {
+func decodePayload(payload []byte, version int) (*Model, error) {
 	d := &decoder{buf: payload}
 	m := &Model{}
 	var err error
@@ -475,10 +551,89 @@ func decodePayload(payload []byte) (*Model, error) {
 		prev = cur
 		m.Edges = append(m.Edges, e)
 	}
+	if version >= 2 {
+		if m.Overlay, err = d.overlay(); err != nil {
+			return nil, err
+		}
+	}
 	if d.remaining() != 0 {
 		return nil, d.fail("%d trailing bytes after model", d.remaining())
 	}
 	return m, nil
+}
+
+// overlay decodes the format-2 routing-overlay section. Like the rest of
+// the payload it is untrusted: counts are bounded by the bytes actually
+// present before any table allocation, landmark ids must be unique and in
+// range, and every distance must be a non-negative non-NaN float (+Inf is
+// a legitimate unreachability marker).
+func (d *decoder) overlay() (*Overlay, error) {
+	if d.remaining() < 1 {
+		return nil, d.fail("truncated overlay flag")
+	}
+	present := d.buf[d.off]
+	d.off++
+	switch present {
+	case 0:
+		return nil, nil
+	case 1:
+	default:
+		return nil, d.fail("overlay flag is %d, want 0 or 1", present)
+	}
+	o := &Overlay{}
+	var err error
+	if o.NumNodes, err = d.intField("overlay node count", maxLandmarkID); err != nil {
+		return nil, err
+	}
+	if o.NumNodes == 0 {
+		return nil, d.fail("overlay present but covers zero nodes")
+	}
+	k, err := d.intField("overlay landmark count", maxOverlayLandmarks)
+	if err != nil {
+		return nil, err
+	}
+	if k == 0 {
+		return nil, d.fail("overlay present but has zero landmarks")
+	}
+	// Each landmark costs at least 1 id byte + 16*numNodes table bytes;
+	// verify the payload can physically hold the tables before allocating
+	// them. Products stay far below int64 overflow (counts are <= 2^31
+	// and 2^10).
+	if need := k * (1 + 16*o.NumNodes); need > d.remaining() {
+		return nil, d.fail("overlay of %d landmarks x %d nodes needs %d bytes, %d remain", k, o.NumNodes, need, d.remaining())
+	}
+	o.Landmarks = make([]int, k)
+	seen := make(map[int]bool, k)
+	for i := range o.Landmarks {
+		id, err := d.intField("overlay landmark id", uint64(o.NumNodes-1))
+		if err != nil {
+			return nil, err
+		}
+		if seen[id] {
+			return nil, d.fail("duplicate overlay landmark node %d", id)
+		}
+		seen[id] = true
+		o.Landmarks[i] = id
+	}
+	for _, dst := range []*[][]float64{&o.Fwd, &o.Bwd} {
+		table := make([][]float64, k)
+		for i := range table {
+			row := make([]float64, o.NumNodes)
+			for j := range row {
+				v, err := d.f64()
+				if err != nil {
+					return nil, err
+				}
+				if math.IsNaN(v) || v < 0 {
+					return nil, d.fail("overlay distance %v invalid", v)
+				}
+				row[j] = v
+			}
+			table[i] = row
+		}
+		*dst = table
+	}
+	return o, nil
 }
 
 func (d *decoder) edge(dims int, categorical []bool) (Edge, error) {

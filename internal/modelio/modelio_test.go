@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -35,6 +37,30 @@ func sampleModel() *Model {
 	}
 }
 
+// sampleOverlay is a tiny but structurally complete routing overlay:
+// two landmarks over four nodes with an unreachable (+Inf) pair.
+func sampleOverlay() *Overlay {
+	inf := math.Inf(1)
+	return &Overlay{
+		NumNodes:  4,
+		Landmarks: []int{2, 0},
+		Fwd:       [][]float64{{700, 350, 0, inf}, {0, 350, 700, 1050}},
+		Bwd:       [][]float64{{700, 350, 0, 1050}, {0, 350, 700, inf}},
+	}
+}
+
+// rebuildFile assembles a complete model file around a raw payload with
+// the given header version — the hook for crafting old-version and
+// hand-corrupted (but CRC-valid) files.
+func rebuildFile(version uint16, payload []byte) []byte {
+	header := make([]byte, headerSize)
+	copy(header, magic[:])
+	binary.LittleEndian.PutUint16(header[4:], version)
+	binary.LittleEndian.PutUint64(header[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(header[16:], crc32.Checksum(payload, crcTable))
+	return append(header, payload...)
+}
+
 func encode(t *testing.T, m *Model) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -57,6 +83,52 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, m) {
 		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestOverlayRoundTrip(t *testing.T) {
+	m := sampleModel()
+	m.Overlay = sampleOverlay()
+	got, err := Read(bytes.NewReader(encode(t, m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("overlay round trip diverged:\n got %+v\nwant %+v", got.Overlay, m.Overlay)
+	}
+	// Landmark order is selection order, not sorted — it must survive
+	// verbatim.
+	if got.Overlay.Landmarks[0] != 2 || got.Overlay.Landmarks[1] != 0 {
+		t.Fatalf("landmark order not preserved: %v", got.Overlay.Landmarks)
+	}
+}
+
+// TestVersion1FileStillLoads pins backward compatibility at the codec
+// layer: a file with a version-1 header and no overlay section decodes to
+// the same model with an absent overlay — old files are never rejected
+// for being old.
+func TestVersion1FileStillLoads(t *testing.T) {
+	m := sampleModel()
+	v2 := encode(t, m)
+	payload := v2[headerSize:]
+	// A version-1 payload is the version-2 payload minus the trailing
+	// overlay section, which for an overlay-less model is the single 0
+	// flag byte.
+	if payload[len(payload)-1] != 0 {
+		t.Fatal("expected absent-overlay flag as the final payload byte")
+	}
+	v1 := rebuildFile(1, payload[:len(payload)-1])
+	got, err := Read(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 file rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("version-1 decode diverged:\n got %+v\nwant %+v", got, m)
+	}
+	// The overlay section is a version-2 construct: the same trailing
+	// bytes under a version-1 header are trailing garbage.
+	if _, err := Read(bytes.NewReader(rebuildFile(1, payload))); !errors.Is(err, ErrInvalidModel) {
+		t.Fatalf("version-1 file with trailing bytes: err = %v, want ErrInvalidModel", err)
 	}
 }
 
@@ -140,6 +212,43 @@ func TestReadRejectsInvalidPayloads(t *testing.T) {
 	corrupt("negative id", func(m *Model) { m.PopularSeqs[0][0] = -1 })
 	corrupt("histogram on numeric dim", func(m *Model) { m.Edges[0].Cats[0].Dim = 1 })
 	corrupt("duplicate edge", func(m *Model) { m.Edges[1] = m.Edges[0] })
+	// The encoder does not check landmark uniqueness; the decoder must.
+	corrupt("duplicate overlay landmark", func(m *Model) {
+		m.Overlay = sampleOverlay()
+		m.Overlay.Landmarks[1] = 2
+	})
+
+	// Overlay corruptions the encoder refuses to produce: mutate the
+	// encoded bytes directly and re-checksum so only the structural
+	// validators can object. The overlay section sits at the end of the
+	// payload; sampleOverlay's first landmark id (2) is the byte right
+	// after the flag + numNodes + count varints.
+	m := sampleModel()
+	m.Overlay = sampleOverlay()
+	valid := encode(t, m)
+	payload := append([]byte(nil), valid[headerSize:]...)
+	overlayOff := len(payload) - (1 + 1 + 1 + 2 + 2*2*4*8) // flag, numNodes, count, 2 ids, 2x2x4 f64
+	if payload[overlayOff] != 1 {
+		t.Fatalf("overlay flag not at computed offset (byte = %d)", payload[overlayOff])
+	}
+	rawCases := map[string]func(p []byte){
+		"overlay flag neither 0 nor 1":  func(p []byte) { p[overlayOff] = 7 },
+		"overlay landmark out of range": func(p []byte) { p[overlayOff+3] = 9 },
+		"overlay NaN distance": func(p []byte) {
+			binary.LittleEndian.PutUint64(p[overlayOff+5:], math.Float64bits(math.NaN()))
+		},
+		"overlay negative distance": func(p []byte) {
+			binary.LittleEndian.PutUint64(p[overlayOff+5:], math.Float64bits(-1))
+		},
+		"overlay truncated tables": func(p []byte) { p[overlayOff+2] = 3 }, // claims 3 landmarks, bytes for 2
+	}
+	for name, mut := range rawCases {
+		p := append([]byte(nil), payload...)
+		mut(p)
+		if _, err := Read(bytes.NewReader(rebuildFile(FormatVersion, p))); !errors.Is(err, ErrInvalidModel) {
+			t.Errorf("%s: err = %v, want ErrInvalidModel", name, err)
+		}
+	}
 }
 
 // TestWriteValidates pins encoder-side strictness: a malformed in-memory
@@ -152,6 +261,32 @@ func TestWriteValidates(t *testing.T) {
 		"long key":       func(m *Model) { m.FeatureKeys[0] = strings.Repeat("x", 300) },
 		"value over n":   func(m *Model) { m.Edges[1].Cats[0].Values[0].Count = 5 },
 		"histogram!=sum": func(m *Model) { m.Edges[0].Cats[0].Values[0].Count = 1 },
+		"overlay zero landmarks": func(m *Model) {
+			m.Overlay = sampleOverlay()
+			m.Overlay.Landmarks = nil
+			m.Overlay.Fwd = nil
+			m.Overlay.Bwd = nil
+		},
+		"overlay row length": func(m *Model) {
+			m.Overlay = sampleOverlay()
+			m.Overlay.Fwd[0] = m.Overlay.Fwd[0][:2]
+		},
+		"overlay table count": func(m *Model) {
+			m.Overlay = sampleOverlay()
+			m.Overlay.Bwd = m.Overlay.Bwd[:1]
+		},
+		"overlay id out of range": func(m *Model) {
+			m.Overlay = sampleOverlay()
+			m.Overlay.Landmarks[0] = 4
+		},
+		"overlay NaN": func(m *Model) {
+			m.Overlay = sampleOverlay()
+			m.Overlay.Bwd[1][1] = math.NaN()
+		},
+		"overlay negative": func(m *Model) {
+			m.Overlay = sampleOverlay()
+			m.Overlay.Fwd[1][1] = -3
+		},
 	}
 	for name, mut := range cases {
 		m := sampleModel()

@@ -66,6 +66,12 @@ const (
 	// failures — missing, corrupt or mismatched model files — are never
 	// retried.
 	MetricRegionLoadRetries = "region_model_load_retries_total"
+	// MetricRegionOverlayBytes is the resident size of the region's
+	// precomputed ALT routing overlay (a gauge, 0 when the serving model
+	// carries none — e.g. a pre-overlay model file). Overlay bytes are
+	// part of the region's budget charge, so this gauge shows how much of
+	// regions_loaded_bytes is routing tables.
+	MetricRegionOverlayBytes = "region_overlay_bytes"
 	// MetricRegionsDiscovered is the number of regions found at startup
 	// (a gauge, constant after Open).
 	MetricRegionsDiscovered = "regions_discovered"
@@ -592,7 +598,24 @@ func (r *Registry) loadFromDisk(c *cell) (*cellState, error) {
 	if mi, err := os.Stat(c.modelFile); err == nil {
 		bytes += mi.Size()
 	}
+	bytes += c.overlayBytes(m)
 	return &cellState{s: s, bytes: bytes}, nil
+}
+
+// overlayBytes charges the model's precomputed routing overlay at its
+// resident table size and refreshes the region's region_overlay_bytes
+// gauge. The dense tables dominate a loaded model's memory beyond what
+// the on-disk file sizes already approximate, so they are accounted
+// explicitly — a budget that ignored them would under-evict exactly the
+// regions carrying the most precomputation.
+func (c *cell) overlayBytes(m *stmaker.Model) int64 {
+	var ob int64
+	if o := m.RoutingOverlay(); o != nil {
+		ob = o.MemoryBytes()
+	}
+	g := c.mx.Counter(MetricRegionOverlayBytes) //nolint:stmaker/metricnames -- region_overlay_bytes is a gauge (set to the serving overlay's resident size), so the _total counter suffix does not apply
+	g.Add(ob - g.Value())
+	return ob
 }
 
 // evictLocked evicts least-recently-used unpinned regions (never the
@@ -621,6 +644,8 @@ func (r *Registry) evictLocked(keep *cell) {
 		st := victim.state.Swap(nil)
 		r.loadedBytes -= st.bytes
 		victim.mx.Counter(MetricRegionEvictions).Inc()
+		og := victim.mx.Counter(MetricRegionOverlayBytes) //nolint:stmaker/metricnames -- region_overlay_bytes is a gauge (zeroed on eviction), so the _total counter suffix does not apply
+		og.Add(-og.Value())
 		r.accountLoadedLocked()
 		r.log.Info("region evicted",
 			"region", victim.name, "bytes", st.bytes, "loaded_bytes", r.loadedBytes)
@@ -727,13 +752,17 @@ func (r *Registry) reload(c *cell) error {
 	if err := st.s.LoadModel(m); err != nil {
 		return err
 	}
-	// The model file may have grown or shrunk; re-stat the region's files
-	// so the budget tracks reality. A stat failure keeps the old cost.
+	// The model file may have grown or shrunk, and the new model's
+	// routing overlay may differ from the old one's; re-stat the region's
+	// files and re-charge the overlay so the budget tracks reality. A
+	// stat failure keeps the old cost (the overlay gauge still reflects
+	// the new model).
+	ob := c.overlayBytes(m)
 	newBytes := st.bytes
 	wi, werr := os.Stat(c.worldFile)
 	mi, merr := os.Stat(c.modelFile)
 	if werr == nil && merr == nil {
-		newBytes = wi.Size() + mi.Size()
+		newBytes = wi.Size() + mi.Size() + ob
 	}
 	r.budgetMu.Lock()
 	// Skip the re-accounting if the cell was evicted (or re-loaded)

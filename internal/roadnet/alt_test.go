@@ -1,0 +1,371 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"stmaker/internal/geo"
+)
+
+// requireSameDistances fails unless the two distance slices are bitwise
+// identical (+Inf included).
+func requireSameDistances(t *testing.T, want, got []float64, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: entry %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestALTMatchesDijkstraOnRandomGrids is the ALT engine's core exactness
+// property: across randomized grids (random grades, one-way sprinkles),
+// random sources, target sets and bounds, both the bounded multi-target
+// search and point-to-point ShortestPath must return costs bit-identical
+// to plain Dijkstra — the guarantee that lets the serving path swap
+// engines without changing a single summary byte.
+func TestALTMatchesDijkstraOnRandomGrids(t *testing.T) {
+	for seed := int64(100); seed < 108; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 5 + rng.Intn(5)
+			spacing := 120 + rng.Float64()*180
+			g := randomGrid(rng, n, spacing)
+			dij := NewDijkstraRouter(g)
+			alt := NewALTRouter(g, BuildOverlay(g, OverlayOptions{Landmarks: 1 + rng.Intn(8)}))
+			if _, ok := alt.(altRouter); !ok {
+				t.Fatalf("expected an ALT engine, got %T", alt)
+			}
+			nodes := g.NumNodes()
+			for trial := 0; trial < 40; trial++ {
+				src := NodeID(rng.Intn(nodes))
+				dst := NodeID(rng.Intn(nodes))
+				wantP, wantErr := dij.ShortestPath(src, dst, ByDistance)
+				gotP, gotErr := alt.ShortestPath(src, dst, ByDistance)
+				if (wantErr != nil) != (gotErr != nil) {
+					t.Fatalf("trial %d: ShortestPath(%d,%d) err %v != %v", trial, src, dst, gotErr, wantErr)
+				}
+				if wantErr == nil && math.Float64bits(wantP.Cost) != math.Float64bits(gotP.Cost) {
+					t.Fatalf("trial %d: ShortestPath(%d,%d) cost %v, want %v", trial, src, dst, gotP.Cost, wantP.Cost)
+				}
+
+				targets := make([]NodeID, 1+rng.Intn(8))
+				for i := range targets {
+					targets[i] = NodeID(rng.Intn(nodes))
+				}
+				// Sweep bound regimes: tight (prunes almost everything),
+				// medium, loose, and unbounded.
+				for _, maxCost := range []float64{spacing * 0.5, spacing * float64(n) * 0.7, spacing * float64(n) * 3, 0} {
+					want := dij.DistancesFrom(src, targets, maxCost, ByDistance)
+					got := alt.DistancesFrom(src, targets, maxCost, ByDistance)
+					requireSameDistances(t, want, got,
+						fmt.Sprintf("trial %d DistancesFrom(%d, %v, %g)", trial, src, targets, maxCost))
+				}
+			}
+		})
+	}
+}
+
+// TestALTDisconnectedComponents pins both query kinds on a graph with two
+// disconnected components: cross-component answers must be ErrNoPath /
+// +Inf from both engines (the overlay proves unreachability outright).
+func TestALTDisconnectedComponents(t *testing.T) {
+	g := &Graph{}
+	// Component A: a 3-node chain. Component B: a 2-node chain 5km away.
+	a0 := g.AddNode(testOrigin, false)
+	a1 := g.AddNode(geo.Destination(testOrigin, 90, 400), false)
+	a2 := g.AddNode(geo.Destination(testOrigin, 90, 800), false)
+	bBase := geo.Destination(testOrigin, 0, 5000)
+	b0 := g.AddNode(bBase, false)
+	b1 := g.AddNode(geo.Destination(bBase, 90, 400), false)
+	for _, e := range [][2]NodeID{{a0, a1}, {a1, a2}, {b0, b1}} {
+		if _, err := g.AddEdge(e[0], e[1], "r", GradeProvincial, 0, TwoWay, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dij := NewDijkstraRouter(g)
+	alt := NewALTRouter(g, BuildOverlay(g, OverlayOptions{Landmarks: 4}))
+	if _, err := alt.ShortestPath(a0, b1, ByDistance); err == nil {
+		t.Fatal("expected ErrNoPath across components")
+	}
+	want := dij.DistancesFrom(a0, []NodeID{a2, b0, b1}, 10000, ByDistance)
+	got := alt.DistancesFrom(a0, []NodeID{a2, b0, b1}, 10000, ByDistance)
+	requireSameDistances(t, want, got, "cross-component")
+	if !math.IsInf(got[1], 1) || !math.IsInf(got[2], 1) {
+		t.Fatalf("expected +Inf to the far component, got %v", got)
+	}
+}
+
+// TestALTForeignWeightFallsBack pins the metric guard: the overlay tables
+// are ByDistance-only, so a ByTravelTime query must route through plain
+// Dijkstra and agree with it exactly.
+func TestALTForeignWeightFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGrid(rng, 6, 200)
+	dij := NewDijkstraRouter(g)
+	alt := NewALTRouter(g, BuildOverlay(g, OverlayOptions{}))
+	for trial := 0; trial < 20; trial++ {
+		src := NodeID(rng.Intn(g.NumNodes()))
+		dst := NodeID(rng.Intn(g.NumNodes()))
+		wantP, wantErr := dij.ShortestPath(src, dst, ByTravelTime)
+		gotP, gotErr := alt.ShortestPath(src, dst, ByTravelTime)
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("err mismatch: %v vs %v", gotErr, wantErr)
+		}
+		if wantErr == nil && math.Float64bits(wantP.Cost) != math.Float64bits(gotP.Cost) {
+			t.Fatalf("ByTravelTime cost %v, want %v", gotP.Cost, wantP.Cost)
+		}
+		want := dij.DistancesFrom(src, []NodeID{dst}, 5000, ByTravelTime)
+		got := alt.DistancesFrom(src, []NodeID{dst}, 5000, ByTravelTime)
+		requireSameDistances(t, want, got, "ByTravelTime distances")
+	}
+}
+
+// TestALTRouterDegradedOverlays pins the safety fallbacks of NewALTRouter:
+// a nil, empty, or wrong-graph overlay must yield the plain engine rather
+// than an engine that could answer wrongly.
+func TestALTRouterDegradedOverlays(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGrid(rng, 5, 200)
+	small := randomGrid(rng, 3, 200)
+	for name, o := range map[string]*Overlay{
+		"nil":      nil,
+		"empty":    {},
+		"mismatch": BuildOverlay(small, OverlayOptions{}),
+	} {
+		if _, ok := NewALTRouter(g, o).(dijkstraRouter); !ok {
+			t.Fatalf("%s overlay: expected Dijkstra fallback", name)
+		}
+	}
+	if _, ok := NewALTRouter(g, BuildOverlay(g, OverlayOptions{})).(altRouter); !ok {
+		t.Fatal("matching overlay: expected ALT engine")
+	}
+}
+
+// TestOverlayLowerBoundAdmissible checks the certified-bound contract the
+// HMM prefilter relies on: the raw triangle-inequality bound never
+// exceeds the true distance by more than the slack, and provablyBeyond
+// never certifies a reachable-within-budget pair as beyond it. The
+// router is built with a zero gate so every trial exercises the
+// certification path rather than the small-search opt-out.
+func TestOverlayLowerBoundAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGrid(rng, 7, 180)
+	dij := NewDijkstraRouter(g)
+	o := BuildOverlay(g, OverlayOptions{})
+	alt := altRouter{g: g, o: o}
+	for trial := 0; trial < 200; trial++ {
+		u := NodeID(rng.Intn(g.NumNodes()))
+		v := NodeID(rng.Intn(g.NumNodes()))
+		lb := o.lowerBound(u, v)
+		p, err := dij.ShortestPath(u, v, ByDistance)
+		if err != nil {
+			continue // unreachable: any bound (including +Inf) is admissible
+		}
+		if lb-altSlackMeters > p.Cost {
+			t.Fatalf("lowerBound(%d,%d) = %v exceeds true distance %v", u, v, lb, p.Cost)
+		}
+		if alt.provablyBeyond(u, v, p.Cost) {
+			t.Fatalf("provablyBeyond(%d,%d, %v) certified the exact distance as beyond budget", u, v, p.Cost)
+		}
+	}
+}
+
+// TestOverlayBuildDeterministic pins that two builds over the same graph
+// select the same landmarks and compute bit-identical tables — the
+// property that keeps model files deterministic.
+func TestOverlayBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomGrid(rng, 6, 220)
+	a := BuildOverlay(g, OverlayOptions{Workers: 1})
+	b := BuildOverlay(g, OverlayOptions{Workers: 8})
+	if fmt.Sprint(a.LandmarkNodes()) != fmt.Sprint(b.LandmarkNodes()) {
+		t.Fatalf("landmark selection differs: %v vs %v", a.LandmarkNodes(), b.LandmarkNodes())
+	}
+	af, ab := a.Tables()
+	bf, bb := b.Tables()
+	for i := range af {
+		requireSameDistances(t, af[i], bf[i], fmt.Sprintf("fwd row %d", i))
+		requireSameDistances(t, ab[i], bb[i], fmt.Sprintf("bwd row %d", i))
+	}
+}
+
+// TestOverlayDirectedTables pins that the backward table really is the
+// reverse-graph distance: on a one-way chain, d(ℓ, v) and d(v, ℓ) must
+// disagree in exactly the way the arrows dictate.
+func TestOverlayDirectedTables(t *testing.T) {
+	g := &Graph{}
+	n0 := g.AddNode(testOrigin, false)
+	n1 := g.AddNode(geo.Destination(testOrigin, 90, 300), false)
+	n2 := g.AddNode(geo.Destination(testOrigin, 90, 600), false)
+	for _, e := range [][2]NodeID{{n0, n1}, {n1, n2}} {
+		if _, err := g.AddEdge(e[0], e[1], "ow", GradeProvincial, 0, OneWay, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o := BuildOverlay(g, OverlayOptions{Landmarks: 3})
+	fwd, bwd := o.Tables()
+	for i, l := range o.LandmarkNodes() {
+		for v := 0; v < g.NumNodes(); v++ {
+			wantFwd := math.Inf(1)
+			if p, err := g.ShortestPath(l, NodeID(v), ByDistance); err == nil {
+				wantFwd = p.Cost
+			}
+			wantBwd := math.Inf(1)
+			if p, err := g.ShortestPath(NodeID(v), l, ByDistance); err == nil {
+				wantBwd = p.Cost
+			}
+			if math.Float64bits(fwd[i][v]) != math.Float64bits(wantFwd) {
+				t.Fatalf("fwd[%d][%d] = %v, want %v", i, v, fwd[i][v], wantFwd)
+			}
+			if math.Float64bits(bwd[i][v]) != math.Float64bits(wantBwd) {
+				t.Fatalf("bwd[%d][%d] = %v, want %v", i, v, bwd[i][v], wantBwd)
+			}
+		}
+	}
+}
+
+// TestNewOverlayFromTablesValidation walks the structural failure modes a
+// hostile or corrupted model file could present.
+func TestNewOverlayFromTablesValidation(t *testing.T) {
+	good := func() ([]NodeID, int, [][]float64, [][]float64) {
+		return []NodeID{0, 2}, 3,
+			[][]float64{{0, 1, 2}, {2, 1, 0}},
+			[][]float64{{0, 1, 2}, {2, 1, 0}}
+	}
+	if _, err := NewOverlayFromTables(good()); err != nil {
+		t.Fatalf("valid tables rejected: %v", err)
+	}
+	cases := map[string]func() ([]NodeID, int, [][]float64, [][]float64){
+		"landmark out of range": func() ([]NodeID, int, [][]float64, [][]float64) {
+			l, n, f, b := good()
+			l[1] = 9
+			return l, n, f, b
+		},
+		"duplicate landmark": func() ([]NodeID, int, [][]float64, [][]float64) {
+			l, n, f, b := good()
+			l[1] = 0
+			b[1][0] = 0
+			f[1][0] = 0
+			return l, n, f, b
+		},
+		"row too short": func() ([]NodeID, int, [][]float64, [][]float64) {
+			l, n, f, b := good()
+			f[0] = f[0][:2]
+			return l, n, f, b
+		},
+		"row count mismatch": func() ([]NodeID, int, [][]float64, [][]float64) {
+			l, n, f, b := good()
+			return l, n, f[:1], b
+		},
+		"NaN distance": func() ([]NodeID, int, [][]float64, [][]float64) {
+			l, n, f, b := good()
+			f[0][1] = math.NaN()
+			return l, n, f, b
+		},
+		"negative distance": func() ([]NodeID, int, [][]float64, [][]float64) {
+			l, n, f, b := good()
+			b[1][0] = -1
+			return l, n, f, b
+		},
+		"nonzero self-distance": func() ([]NodeID, int, [][]float64, [][]float64) {
+			l, n, f, b := good()
+			f[0][0] = 5
+			return l, n, f, b
+		},
+	}
+	for name, mk := range cases {
+		if _, err := NewOverlayFromTables(mk()); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestHMMALTMatchesNaiveAcrossSamplingRates is the decimated-sampling
+// equivalence matrix: at every sampling rate — including the sparse
+// regimes where the transition bound stretches and the ALT prefilter
+// prunes hardest — the ALT-backed fast path must reproduce the naive
+// reference byte for byte, cold cache and warm.
+func TestHMMALTMatchesNaiveAcrossSamplingRates(t *testing.T) {
+	for seed := int64(200); seed < 204; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 6 + rng.Intn(3)
+			g := randomGrid(rng, n, 150+rng.Float64()*100)
+			alt := NewALTRouter(g, BuildOverlay(g, OverlayOptions{}))
+			naive := newNaiveHMMMatcher(g, HMMOptions{})
+			dense := randomWalkPoints(rng, g, 120)
+			for _, factor := range []int{1, 2, 4, 8} {
+				pts := make([]geo.Point, 0, len(dense)/factor+1)
+				for i := 0; i < len(dense); i += factor {
+					pts = append(pts, dense[i])
+				}
+				want := naive.MatchPoints(pts)
+
+				fast := NewHMMMatcher(g, HMMOptions{Cache: NewSPCache(SPCacheOptions{Capacity: 4096})})
+				fast.SetRouter(alt)
+				cold := fast.MatchPoints(pts)
+				requireSameMatches(t, want, cold, fmt.Sprintf("factor %d cold", factor))
+				warm := fast.MatchPoints(pts)
+				requireSameMatches(t, want, warm, fmt.Sprintf("factor %d warm", factor))
+			}
+		})
+	}
+}
+
+// TestHMMRouterSwapMidStream swaps engines between decodes of the same
+// matcher (what a model publish does to a serving summarizer) and pins
+// that the output never changes.
+func TestHMMRouterSwapMidStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGrid(rng, 6, 200)
+	h := NewHMMMatcher(g, HMMOptions{Cache: NewSPCache(SPCacheOptions{Capacity: 2048})})
+	pts := randomWalkPoints(rng, g, 60)
+	want := h.MatchPoints(pts)
+	h.SetRouter(NewALTRouter(g, BuildOverlay(g, OverlayOptions{})))
+	requireSameMatches(t, want, h.MatchPoints(pts), "after ALT swap")
+	h.SetRouter(nil) // back to plain Dijkstra
+	requireSameMatches(t, want, h.MatchPoints(pts), "after fallback swap")
+}
+
+// FuzzALTEquivalence fuzzes the exactness property over generated grids,
+// endpoints and bounds; run by make fuzz-smoke.
+func FuzzALTEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(17), 900.0)
+	f.Add(int64(2), uint8(0), uint8(24), 120.0)
+	f.Add(int64(3), uint8(24), uint8(0), 1e9)
+	f.Fuzz(func(t *testing.T, seed int64, a, b uint8, maxCost float64) {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGrid(rng, 5, 150+rng.Float64()*150)
+		dij := NewDijkstraRouter(g)
+		alt := NewALTRouter(g, BuildOverlay(g, OverlayOptions{Landmarks: 1 + int(a%8)}))
+		src := NodeID(int(a) % g.NumNodes())
+		dst := NodeID(int(b) % g.NumNodes())
+		if math.IsNaN(maxCost) {
+			maxCost = 0
+		}
+		wantP, wantErr := dij.ShortestPath(src, dst, ByDistance)
+		gotP, gotErr := alt.ShortestPath(src, dst, ByDistance)
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("ShortestPath err %v != %v", gotErr, wantErr)
+		}
+		if wantErr == nil && math.Float64bits(wantP.Cost) != math.Float64bits(gotP.Cost) {
+			t.Fatalf("ShortestPath cost %v != %v", gotP.Cost, wantP.Cost)
+		}
+		targets := []NodeID{dst, src, NodeID(int(a+b) % g.NumNodes())}
+		want := dij.DistancesFrom(src, targets, maxCost, ByDistance)
+		got := alt.DistancesFrom(src, targets, maxCost, ByDistance)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("DistancesFrom[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	})
+}

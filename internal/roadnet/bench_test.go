@@ -45,6 +45,48 @@ func BenchmarkShortestPath20x20(b *testing.B) {
 	}
 }
 
+// BenchmarkShortestPathDijkstra is the cold point-to-point baseline under
+// the ByDistance metric (the metric the ALT overlay accelerates), for a
+// like-for-like comparison with BenchmarkShortestPathALT.
+func BenchmarkShortestPathDijkstra(b *testing.B) {
+	g := benchGrid(20, 400)
+	r := NewDijkstraRouter(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ShortestPath(0, NodeID(g.NumNodes()-1), ByDistance); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShortestPathALT runs the same cold query through goal-directed
+// A* over a precomputed landmark overlay.
+func BenchmarkShortestPathALT(b *testing.B) {
+	g := benchGrid(20, 400)
+	r := NewALTRouter(g, BuildOverlay(g, OverlayOptions{}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ShortestPath(0, NodeID(g.NumNodes()-1), ByDistance); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainOverlay measures the one-time overlay precomputation Train
+// performs: landmark selection plus two full Dijkstras per landmark.
+func BenchmarkTrainOverlay(b *testing.B) {
+	g := benchGrid(20, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o := BuildOverlay(g, OverlayOptions{}); o.NumLandmarks() == 0 {
+			b.Fatal("empty overlay")
+		}
+	}
+}
+
 func BenchmarkNearestEdge(b *testing.B) {
 	g := benchGrid(20, 400)
 	m := NewMatcher(g)
@@ -74,6 +116,60 @@ func BenchmarkHMMMatch100Points(b *testing.B) {
 	g := benchGrid(10, 400)
 	h := NewHMMMatcher(g, HMMOptions{})
 	pts := benchTrajectory(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.MatchPoints(pts)
+	}
+}
+
+// BenchmarkHMMMatch100PointsALT is the cold-cache decode with the ALT
+// engine behind transition scoring — the serving configuration once a
+// model with a precomputed overlay is published.
+func BenchmarkHMMMatch100PointsALT(b *testing.B) {
+	g := benchGrid(10, 400)
+	h := NewHMMMatcher(g, HMMOptions{})
+	h.SetRouter(NewALTRouter(g, BuildOverlay(g, OverlayOptions{})))
+	pts := benchTrajectory(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.MatchPoints(pts)
+	}
+}
+
+// benchSparseTrajectory decimates the benchmark trajectory to every
+// factor-th point: the low-sampling-rate regime where straight-line gaps
+// stretch the transition bound and bounded searches degrade worst.
+func benchSparseTrajectory(n, factor int) []geo.Point {
+	pts := benchTrajectory(n)
+	out := pts[:0]
+	for i := 0; i < len(pts); i += factor {
+		out = append(out, pts[i])
+	}
+	return out
+}
+
+// BenchmarkHMMMatchSparse decodes a 4x-decimated trajectory with the
+// plain Dijkstra engine.
+func BenchmarkHMMMatchSparse(b *testing.B) {
+	g := benchGrid(10, 400)
+	h := NewHMMMatcher(g, HMMOptions{})
+	pts := benchSparseTrajectory(400, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.MatchPoints(pts)
+	}
+}
+
+// BenchmarkHMMMatchSparseALT decodes the same sparse trajectory with the
+// ALT engine pruning the widened transition searches.
+func BenchmarkHMMMatchSparseALT(b *testing.B) {
+	g := benchGrid(10, 400)
+	h := NewHMMMatcher(g, HMMOptions{})
+	h.SetRouter(NewALTRouter(g, BuildOverlay(g, OverlayOptions{})))
+	pts := benchSparseTrajectory(400, 4)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -151,7 +247,7 @@ func BenchmarkNetworkDistanceFast(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc := acquireStepScratch()
-		h.buildStepTable(sc, prev, next, straight)
+		h.buildStepTable(h.Router(), sc, prev, next, straight)
 		for _, a := range prev {
 			for _, c := range next {
 				h.networkDistanceFast(sc, a.match, c.match)

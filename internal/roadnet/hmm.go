@@ -3,6 +3,7 @@ package roadnet
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"stmaker/internal/geo"
 )
@@ -65,16 +66,45 @@ type HMMMatcher struct {
 	opts  HMMOptions
 	cache *SPCache
 
+	// rt holds the routing engine behind transition scoring, swappable at
+	// runtime (SetRouter): a model publish installs an ALT engine over the
+	// model's precomputed overlay, and a model without one falls back to
+	// plain Dijkstra. Every engine returns bit-identical distances, so a
+	// swap during an in-flight decode is harmless.
+	rt atomic.Pointer[routerCell]
+
 	// naive switches transition scoring to the pre-optimization reference
 	// implementation (one point-to-point Dijkstra per endpoint combination
 	// per candidate pair). Kept for equivalence tests and benchmarks.
 	naive bool
 }
 
-// NewHMMMatcher builds an HMM matcher over the graph.
+// routerCell boxes the Router interface value so the engine can live
+// behind an atomic.Pointer (which needs one concrete type).
+type routerCell struct{ r Router }
+
+// NewHMMMatcher builds an HMM matcher over the graph, routing with plain
+// bounded Dijkstra until SetRouter installs another engine.
 func NewHMMMatcher(g *Graph, opts HMMOptions) *HMMMatcher {
-	return &HMMMatcher{g: g, m: NewMatcher(g), opts: opts.withDefaults(), cache: opts.Cache}
+	h := &HMMMatcher{g: g, m: NewMatcher(g), opts: opts.withDefaults(), cache: opts.Cache}
+	h.rt.Store(&routerCell{r: NewDijkstraRouter(g)})
+	return h
 }
+
+// SetRouter atomically installs the routing engine behind transition
+// scoring; nil restores the plain Dijkstra engine. Safe to call while
+// MatchPoints traffic is in flight: each decode run snapshots the engine
+// once, and all engines are exact, so concurrent decodes produce the
+// same matches whichever engine they snapshotted.
+func (h *HMMMatcher) SetRouter(r Router) {
+	if r == nil {
+		r = NewDijkstraRouter(h.g)
+	}
+	h.rt.Store(&routerCell{r: r})
+}
+
+// Router returns the engine currently behind transition scoring.
+func (h *HMMMatcher) Router() Router { return h.rt.Load().r }
 
 // newNaiveHMMMatcher builds a matcher whose transitions use the
 // pre-optimization per-pair searches — the reference implementation that
@@ -133,9 +163,14 @@ func (h *HMMMatcher) decodeRun(points []geo.Point, start int, out []*Match) int 
 	}
 
 	var sc *stepScratch
+	var rt Router
 	if !h.naive {
 		sc = acquireStepScratch()
 		defer releaseStepScratch(sc)
+		// One engine snapshot per decode run: a concurrent SetRouter never
+		// mixes engines within a run (and would be harmless if it did —
+		// engines are exact).
+		rt = h.rt.Load().r
 	}
 
 	end := start + 1
@@ -151,7 +186,7 @@ func (h *HMMMatcher) decodeRun(points []geo.Point, start int, out []*Match) int 
 			// candidate endpoint node (≤ 2·MaxCandidates, cache misses
 			// only) replaces the naive 4 × |prev| × |next| point-to-point
 			// searches of this step.
-			h.buildStepTable(sc, prev.cands, next, straight)
+			h.buildStepTable(rt, sc, prev.cands, next, straight)
 		}
 		nextProbs := make([]float64, len(next))
 		back := make([]int, len(next))
@@ -302,7 +337,7 @@ func appendNodeDedup(list []NodeID, n NodeID) []NodeID {
 // next candidates. Distances come from the shared cache when possible;
 // the misses of each source node are resolved with a single bounded
 // multi-target search.
-func (h *HMMMatcher) buildStepTable(sc *stepScratch, prev, next []candidate, straight float64) {
+func (h *HMMMatcher) buildStepTable(rt Router, sc *stepScratch, prev, next []candidate, straight float64) {
 	sc.maxCost = straight + transitionBoundBetas*h.opts.BetaMeters
 	sc.srcs = sc.srcs[:0]
 	sc.tgts = sc.tgts[:0]
@@ -324,14 +359,18 @@ func (h *HMMMatcher) buildStepTable(sc *stepScratch, prev, next []candidate, str
 	for si, src := range sc.srcs {
 		row := sc.rowBuf[si*nt : (si+1)*nt]
 		sc.rows = append(sc.rows, row)
-		h.fillRow(sc, src, row)
+		h.fillRow(rt, sc, src, row)
 	}
 }
 
 // fillRow resolves one source node's distances to every target: cache
-// first, then one bounded multi-target search over the misses, whose
-// results are written back to the cache.
-func (h *HMMMatcher) fillRow(sc *stepScratch, src NodeID, row []float64) {
+// first, then the router's certified lower bound — a pair the overlay
+// proves is beyond the step bound needs no search at all, which is where
+// sparse (low-sampling-rate) trajectories win big, since their large
+// straight-line gaps force exactly the long-range searches that degrade
+// worst — and finally one bounded multi-target search over the remaining
+// misses, whose results are written back to the cache.
+func (h *HMMMatcher) fillRow(rt Router, sc *stepScratch, src NodeID, row []float64) {
 	sc.missTgts = sc.missTgts[:0]
 	sc.missIdx = sc.missIdx[:0]
 	for ti, t := range sc.tgts {
@@ -348,6 +387,13 @@ func (h *HMMMatcher) fillRow(sc *stepScratch, src NodeID, row []float64) {
 			row[ti] = d
 			continue
 		}
+		if rt.provablyBeyond(src, t, sc.maxCost) {
+			// Provably unreached within the bound: exactly what the search
+			// would conclude, recorded in the cache the same way.
+			row[ti] = math.Inf(1)
+			h.cache.Store(src, t, math.Inf(1), sc.maxCost)
+			continue
+		}
 		sc.missTgts = append(sc.missTgts, t)
 		sc.missIdx = append(sc.missIdx, ti)
 	}
@@ -358,7 +404,7 @@ func (h *HMMMatcher) fillRow(sc *stepScratch, src NodeID, row []float64) {
 		sc.missOut = make([]float64, len(sc.missTgts))
 	}
 	out := sc.missOut[:len(sc.missTgts)]
-	h.g.distancesFrom(src, sc.missTgts, sc.maxCost, ByDistance, out)
+	rt.distancesFromInto(src, sc.missTgts, sc.maxCost, ByDistance, out)
 	for i, ti := range sc.missIdx {
 		h.cache.Store(src, sc.missTgts[i], out[i], sc.maxCost)
 		row[ti] = out[i]

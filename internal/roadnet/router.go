@@ -1,0 +1,74 @@
+package roadnet
+
+import "reflect"
+
+// Router is the pluggable shortest-path engine behind the HMM matcher's
+// transition scoring and the public routing API. Two implementations
+// exist: the bounded Dijkstra the package always had (NewDijkstraRouter)
+// and a goal-directed ALT engine over a precomputed landmark overlay
+// (NewALTRouter). Every implementation is exact — for the same graph and
+// weight function, all routers return bit-identical distances — so
+// swapping routers mid-request is safe and the summaries a serving path
+// produces never depend on which engine answered.
+//
+// Implementations live in this package (the interface has unexported
+// methods): the hot paths need allocation-free into-variants and
+// admissible lower bounds that only make sense over package internals.
+type Router interface {
+	// ShortestPath computes the minimum-cost path from src to dst under
+	// the weight function; see Graph.ShortestPath. The returned Cost is
+	// bit-identical across implementations; among equal-cost paths the
+	// step sequence may differ.
+	ShortestPath(src, dst NodeID, weight WeightFunc) (*Path, error)
+	// DistancesFrom computes bounded multi-target distances; see
+	// Graph.DistancesFrom. Results are bit-identical across
+	// implementations.
+	DistancesFrom(src NodeID, targets []NodeID, maxCost float64, weight WeightFunc) []float64
+
+	// distancesFromInto is DistancesFrom writing into a caller-provided
+	// slice, the allocation-free variant the HMM fast path uses.
+	distancesFromInto(src NodeID, targets []NodeID, maxCost float64, weight WeightFunc, out []float64)
+	// provablyBeyond reports whether the engine certifies that the
+	// ByDistance shortest-path distance from u to t exceeds budget. A
+	// certificate is never wrong — the true (and the computed) distance
+	// really is beyond the budget — so a caller may skip any search whose
+	// budget is certified exceeded; false only means "no certificate",
+	// never "reachable". Engines without precomputed bounds always
+	// return false.
+	provablyBeyond(u, t NodeID, budget float64) bool
+}
+
+// dijkstraRouter is the bounded-Dijkstra engine: a stateless view over
+// the graph's own search methods, kept as the equivalence reference for
+// every other engine.
+type dijkstraRouter struct{ g *Graph }
+
+// NewDijkstraRouter returns the plain bounded-Dijkstra routing engine
+// over g — no precomputation, exact answers, the baseline every other
+// Router is measured and verified against.
+func NewDijkstraRouter(g *Graph) Router { return dijkstraRouter{g: g} }
+
+func (r dijkstraRouter) ShortestPath(src, dst NodeID, weight WeightFunc) (*Path, error) {
+	return r.g.ShortestPath(src, dst, weight)
+}
+
+func (r dijkstraRouter) DistancesFrom(src NodeID, targets []NodeID, maxCost float64, weight WeightFunc) []float64 {
+	return r.g.DistancesFrom(src, targets, maxCost, weight)
+}
+
+func (r dijkstraRouter) distancesFromInto(src NodeID, targets []NodeID, maxCost float64, weight WeightFunc, out []float64) {
+	r.g.distancesFrom(src, targets, maxCost, weight, out)
+}
+
+func (r dijkstraRouter) provablyBeyond(u, t NodeID, budget float64) bool { return false }
+
+// byDistancePC is the code pointer of ByDistance, used to recognize the
+// one weight function the ALT overlay's tables are valid for. Captured
+// once; the per-call check is a single reflect.ValueOf.Pointer.
+var byDistancePC = reflect.ValueOf(ByDistance).Pointer()
+
+// isByDistance reports whether weight is the ByDistance metric (nil
+// defaults to it, matching Graph.ShortestPath and Graph.DistancesFrom).
+func isByDistance(weight WeightFunc) bool {
+	return weight == nil || reflect.ValueOf(weight).Pointer() == byDistancePC
+}

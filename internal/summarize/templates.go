@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"stmaker/internal/feature"
@@ -67,26 +68,72 @@ func (ts *TemplateSet) HasClause(key string) bool {
 	return ok
 }
 
+// renderScratch is the reusable realization state: the byte buffer the
+// whole summary text is assembled in, the part-boundary marks that slice
+// it back into per-partition sentences, and the clause list RenderPart
+// accumulates per sentence. Pooled so steady-state serving pays one
+// allocation per summary — the final string conversion — instead of a
+// builder, a clause slice and a parts slice per request.
+type renderScratch struct {
+	buf     []byte
+	marks   []int
+	clauses []string
+}
+
+var renderPool = sync.Pool{New: func() any { return new(renderScratch) }}
+
 // RenderPart fills ps.Text from the sentence templates of Table VI:
 //
 //	The car moved/started from source to destination through road type,
 //	with feature template / Then it moved from source to destination
 //	smoothly.
 func (ts *TemplateSet) RenderPart(ps *PartSummary, first bool) {
-	var b strings.Builder
-	if first {
-		b.WriteString("The car started from ")
-	} else {
-		b.WriteString("Then it moved from ")
+	rs := renderPool.Get().(*renderScratch)
+	rs.buf = ts.appendPart(rs.buf[:0], rs, ps, first)
+	ps.Text = string(rs.buf)
+	renderPool.Put(rs)
+}
+
+// RenderSummary renders every partition sentence and joins them into the
+// final summary text. The sentences are realized into one shared buffer
+// and each PartSummary.Text is a slice of the final string, so a
+// K-partition summary costs a single string allocation.
+func (ts *TemplateSet) RenderSummary(s *Summary) {
+	rs := renderPool.Get().(*renderScratch)
+	rs.buf, rs.marks = rs.buf[:0], rs.marks[:0]
+	for i := range s.Parts {
+		if i > 0 {
+			rs.buf = append(rs.buf, ' ')
+		}
+		start := len(rs.buf)
+		rs.buf = ts.appendPart(rs.buf, rs, &s.Parts[i], i == 0)
+		rs.marks = append(rs.marks, start, len(rs.buf))
 	}
-	b.WriteString(displayName(ps.SourceName))
-	b.WriteString(" to ")
-	b.WriteString(displayName(ps.DestName))
+	text := string(rs.buf)
+	s.Text = text
+	for i := range s.Parts {
+		s.Parts[i].Text = text[rs.marks[2*i]:rs.marks[2*i+1]]
+	}
+	renderPool.Put(rs)
+}
+
+// appendPart realizes one partition sentence into buf and returns the
+// extended buffer. rs supplies the reusable clause list; clause strings
+// themselves come from the renderers.
+func (ts *TemplateSet) appendPart(buf []byte, rs *renderScratch, ps *PartSummary, first bool) []byte {
+	if first {
+		buf = append(buf, "The car started from "...)
+	} else {
+		buf = append(buf, "Then it moved from "...)
+	}
+	buf = append(buf, displayName(ps.SourceName)...)
+	buf = append(buf, " to "...)
+	buf = append(buf, displayName(ps.DestName)...)
 
 	// The "through road type" slot: the grade clause supplies it when the
 	// grade feature was selected (it carries the historical comparison);
 	// otherwise the plain dominant road type fills it.
-	var clauses []string
+	clauses := rs.clauses[:0]
 	gradeClauseUsed := false
 	for _, sf := range ps.Features {
 		render, ok := ts.clauses[sf.Key]
@@ -98,47 +145,41 @@ func (ts *TemplateSet) RenderPart(ps *PartSummary, first bool) {
 			continue
 		}
 		if sf.Key == feature.KeyGradeOfRoad {
-			b.WriteString(" ")
-			b.WriteString(clause)
+			buf = append(buf, ' ')
+			buf = append(buf, clause...)
 			gradeClauseUsed = true
 			continue
 		}
 		clauses = append(clauses, clause)
 	}
 	if !gradeClauseUsed && ps.RoadType != "" {
-		b.WriteString(" through ")
-		b.WriteString(withRoadName(ps.RoadType, ps.RoadName))
+		buf = append(buf, " through "...)
+		buf = append(buf, withRoadName(ps.RoadType, ps.RoadName)...)
 	}
 
 	if len(clauses) == 0 && !gradeClauseUsed {
-		b.WriteString(" smoothly.")
-		ps.Text = b.String()
-		return
+		rs.clauses = clauses
+		return append(buf, " smoothly."...)
 	}
 	for i, c := range clauses {
 		if i == 0 {
-			b.WriteString(", ")
+			buf = append(buf, ", "...)
 		} else if i == len(clauses)-1 {
-			b.WriteString(" and ")
+			buf = append(buf, " and "...)
 		} else {
-			b.WriteString(", ")
+			buf = append(buf, ", "...)
 		}
-		b.WriteString(c)
+		buf = append(buf, c...)
 	}
-	b.WriteString(".")
-	ps.Text = b.String()
+	rs.clauses = clauses[:0]
+	return append(buf, '.')
 }
 
-// RenderSummary renders every partition sentence and joins them into the
-// final summary text.
-func (ts *TemplateSet) RenderSummary(s *Summary) {
-	var parts []string
-	for i := range s.Parts {
-		ts.RenderPart(&s.Parts[i], i == 0)
-		parts = append(parts, s.Parts[i].Text)
-	}
-	s.Text = strings.Join(parts, " ")
-}
+// displayNames interns the article-prefixed form of every landmark name
+// the corpus mentions. The key set is bounded by the loaded worlds'
+// landmark vocabularies, so the cache converges after warm-up and the
+// per-summary "the " + name (and ToLower) allocations disappear.
+var displayNames sync.Map // string -> string
 
 // displayName article-prefixes a landmark name the way the paper's
 // examples do ("the Daoxiang Community").
@@ -146,18 +187,23 @@ func displayName(name string) string {
 	if name == "" {
 		return "an unnamed place"
 	}
-	lower := strings.ToLower(name)
-	if strings.HasPrefix(lower, "the ") || strings.HasPrefix(lower, "a ") || strings.HasPrefix(lower, "an ") {
-		return name
+	if d, ok := displayNames.Load(name); ok {
+		return d.(string)
 	}
-	return "the " + name
+	d := name
+	lower := strings.ToLower(name)
+	if !strings.HasPrefix(lower, "the ") && !strings.HasPrefix(lower, "a ") && !strings.HasPrefix(lower, "an ") {
+		d = "the " + name
+	}
+	displayNames.Store(name, d)
+	return d
 }
 
 func withRoadName(roadType, roadName string) string {
 	if roadName == "" {
 		return roadType
 	}
-	return fmt.Sprintf("%s (%s)", roadType, roadName)
+	return roadType + " (" + roadName + ")"
 }
 
 // renderGrade: "through given road type (road name) while the most drivers
@@ -241,14 +287,7 @@ func renderStays(sf SelectedFeature) string {
 	clause := fmt.Sprintf("with %s staying %s", numberWord(n), plural(n, "point", "points"))
 	// §VI-A: feature extraction's by-products — where the stays took place
 	// and how long they lasted — enrich the phrase.
-	var places []string
-	seen := make(map[string]bool)
-	for _, at := range sf.StayAt {
-		if at != "" && !seen[at] {
-			seen[at] = true
-			places = append(places, displayName(at))
-		}
-	}
+	places := dedupedPlaces(sf.StayAt)
 	if len(places) > 0 && len(places) <= 2 {
 		clause += " near " + joinAnd(places)
 	}
@@ -269,14 +308,7 @@ func renderUTurns(sf SelectedFeature) string {
 		return ""
 	}
 	clause := fmt.Sprintf("with conducting %s %s", numberWord(n), plural(n, "U-turn", "U-turns"))
-	var places []string
-	seen := make(map[string]bool)
-	for _, at := range sf.UTurnAt {
-		if at != "" && !seen[at] {
-			seen[at] = true
-			places = append(places, displayName(at))
-		}
-	}
+	places := dedupedPlaces(sf.UTurnAt)
 	if len(places) > 0 {
 		clause += " at " + joinAnd(places)
 	}
@@ -301,13 +333,35 @@ func renderSpeedChanges(sf SelectedFeature) string {
 	return fmt.Sprintf("with %s sharp speed %s", numberWord(n), plural(n, "change", "changes"))
 }
 
-// numberWord spells small counts the way the paper's examples do ("two
+// dedupedPlaces turns the raw stay/U-turn location by-products into
+// display names, dropping blanks and repeats. Lists are a handful of
+// entries at most, so a linear scan beats allocating a set per clause;
+// first-mention order is preserved.
+func dedupedPlaces(at []string) []string {
+	var places []string
+outer:
+	for i, a := range at {
+		if a == "" {
+			continue
+		}
+		for _, prev := range at[:i] {
+			if prev == a {
+				continue outer
+			}
+		}
+		places = append(places, displayName(a))
+	}
+	return places
+}
+
+// numberWords spells small counts the way the paper's examples do ("two
 // staying points", "one U-turn").
+var numberWords = [...]string{"zero", "one", "two", "three", "four", "five",
+	"six", "seven", "eight", "nine", "ten", "eleven", "twelve"}
+
 func numberWord(n int) string {
-	words := []string{"zero", "one", "two", "three", "four", "five", "six",
-		"seven", "eight", "nine", "ten", "eleven", "twelve"}
-	if n >= 0 && n < len(words) {
-		return words[n]
+	if n >= 0 && n < len(numberWords) {
+		return numberWords[n]
 	}
 	return fmt.Sprintf("%d", n)
 }

@@ -10,6 +10,7 @@ import (
 
 	"stmaker/internal/history"
 	"stmaker/internal/modelio"
+	"stmaker/internal/roadnet"
 )
 
 // ErrModelMismatch is returned by LoadModel when a model was built under
@@ -53,6 +54,10 @@ type Model struct {
 	stats                   TrainStats
 	popular                 *history.Popular
 	featMap                 *history.FeatureMap
+	// overlay is the precomputed ALT routing overlay (nil when disabled
+	// or when the model came from a pre-overlay file — serving then falls
+	// back to plain Dijkstra, never an error).
+	overlay *roadnet.Overlay
 }
 
 // Version is the model's publish sequence number: assigned when the
@@ -91,6 +96,12 @@ func (m *Model) Popular() *history.Popular { return m.popular }
 // FeatureMap exposes the historical feature map. Read-only.
 func (m *Model) FeatureMap() *history.FeatureMap { return m.featMap }
 
+// RoutingOverlay exposes the precomputed ALT routing overlay, or nil when
+// the model carries none (Config.OverlayLandmarks < 0, or the model was
+// loaded from a file written before the overlay existed — both serve
+// through the plain Dijkstra engine). Read-only.
+func (m *Model) RoutingOverlay() *roadnet.Overlay { return m.overlay }
+
 // WriteTo serializes the model in the versioned, CRC-checksummed binary
 // format of internal/modelio, implementing io.WriterTo. The encoding is
 // deterministic: writing the same model twice produces identical bytes.
@@ -126,6 +137,14 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 			edge.Cats = append(edge.Cats, cd)
 		}
 		data.Edges = append(data.Edges, edge)
+	}
+	if m.overlay != nil && m.overlay.NumLandmarks() > 0 {
+		fwd, bwd := m.overlay.Tables()
+		ov := &modelio.Overlay{NumNodes: m.overlay.NumNodes(), Fwd: fwd, Bwd: bwd}
+		for _, id := range m.overlay.LandmarkNodes() {
+			ov.Landmarks = append(ov.Landmarks, int(id))
+		}
+		data.Overlay = ov
 	}
 	return modelio.Write(w, data)
 }
@@ -169,6 +188,17 @@ func ReadModelFrom(r io.Reader) (*Model, error) {
 		Repairs:     data.Stats.Repairs,
 		Transitions: featMap.NumEdges(),
 	}
+	var overlay *roadnet.Overlay
+	if ov := data.Overlay; ov != nil {
+		landmarks := make([]roadnet.NodeID, len(ov.Landmarks))
+		for i, id := range ov.Landmarks {
+			landmarks[i] = roadnet.NodeID(id)
+		}
+		overlay, err = roadnet.NewOverlayFromTables(landmarks, ov.NumNodes, ov.Fwd, ov.Bwd)
+		if err != nil {
+			return nil, fmt.Errorf("%w: routing overlay: %v", ErrInvalidModel, err)
+		}
+	}
 	return &Model{
 		version:                 data.Version,
 		featureKeys:             data.FeatureKeys,
@@ -177,6 +207,7 @@ func ReadModelFrom(r io.Reader) (*Model, error) {
 		stats:                   stats,
 		popular:                 history.BuildPopularFromSequences(data.PopularSeqs),
 		featMap:                 featMap,
+		overlay:                 overlay,
 	}, nil
 }
 
@@ -263,6 +294,14 @@ func (s *Summarizer) checkCompatible(m *Model) error {
 		return fmt.Errorf("%w: model calibrated with anchor spacing %gm, summarizer uses %gm",
 			ErrModelMismatch, m.minAnchorSpacingMeters, s.cfg.MinAnchorSpacingMeters)
 	}
+	// The overlay's distance tables are keyed by node id, so a model whose
+	// overlay was built over a different road graph would hand out bounds
+	// for the wrong nodes. An absent overlay is always fine (plain-engine
+	// fallback); a present one must cover exactly this graph.
+	if m.overlay != nil && m.overlay.NumNodes() != s.cfg.Graph.NumNodes() {
+		return fmt.Errorf("%w: model routing overlay covers %d road nodes, graph has %d",
+			ErrModelMismatch, m.overlay.NumNodes(), s.cfg.Graph.NumNodes())
+	}
 	return nil
 }
 
@@ -296,6 +335,17 @@ func (s *Summarizer) publish(m Model) *Model {
 		m.version = prev + 1
 	}
 	s.model.Store(&m)
+	// Re-point the HMM matcher's routing engine at the new model's
+	// overlay (or back to plain Dijkstra when it has none). Engines are
+	// exact — bit-identical distances — so requests in flight during the
+	// swap are unaffected whichever engine answers them.
+	if h := s.ctx.HMM; h != nil {
+		if m.overlay != nil {
+			h.SetRouter(roadnet.NewALTRouter(s.cfg.Graph, m.overlay))
+		} else {
+			h.SetRouter(nil)
+		}
+	}
 	s.mx.Counter(MetricModelSwaps).Inc()
 	gauge := s.mx.Counter(MetricModelVersion) //nolint:stmaker/metricnames -- model_version is a gauge (set to the serving model's version), so the _total counter suffix does not apply
 	gauge.Add(int64(m.version) - gauge.Value())

@@ -1,0 +1,162 @@
+package stmaker
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// v1FixturePath is a pinned model file written by the FormatVersion-1
+// codec, before the routing overlay existed (see testdata/gen_model_v1.go
+// for provenance). It was trained on exactly the world and corpus
+// newWorld builds.
+const v1FixturePath = "testdata/model_v1.stm"
+
+// TestV1ModelFixtureServesIdentically is the backward-compatibility
+// contract end to end: a pre-overlay model file still loads (overlay
+// absent, plain-Dijkstra fallback — never an error) and serves summaries
+// byte-identical to a freshly trained model that carries the overlay.
+// That last part is the router-equivalence guarantee surfacing at the
+// API: which engine answers must be unobservable in the output.
+func TestV1ModelFixtureServesIdentically(t *testing.T) {
+	city, fresh := newWorld(t, func(c *Config) { c.UseHMMMatching = true })
+	if fresh.Model().RoutingOverlay() == nil {
+		t.Fatal("freshly trained model carries no routing overlay")
+	}
+
+	warm, err := New(Config{Graph: city.Graph, Landmarks: city.Landmarks, UseHMMMatching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModelFile(v1FixturePath)
+	if err != nil {
+		t.Fatalf("pre-overlay fixture rejected: %v", err)
+	}
+	if m.RoutingOverlay() != nil {
+		t.Fatal("version-1 file produced an overlay from nowhere")
+	}
+	if err := warm.LoadModel(m); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, seed := range []int64{24, 31, 47, 63} {
+		trip := eventfulTrip(t, city, seed)
+		want, err := fresh.SummarizeK(trip.Raw, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := warm.SummarizeK(trip.Raw, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Text != want.Text {
+			t.Fatalf("seed %d: v1-model summary diverged\n got: %s\nwant: %s", seed, got.Text, want.Text)
+		}
+	}
+
+	// A retrain on the warm summarizer builds the overlay it was missing;
+	// stats report the build.
+	stats := TrainStats{}
+	if o := warm.routingOverlay(&stats); o == nil {
+		t.Fatal("retrain path failed to build an overlay for a v1-loaded summarizer")
+	} else if stats.OverlayBuildSeconds <= 0 {
+		t.Fatal("overlay build time not reported")
+	}
+}
+
+// TestReloadUnderLoadOverlaySwap hammers the model hot-swap while
+// summarize traffic is in flight, alternating between a pre-overlay
+// model (plain-Dijkstra serving) and an overlay-carrying one (ALT
+// serving). Under -race this pins that the router swap inside publish is
+// as race-free as the model swap itself, and that every request — no
+// matter which side of a swap it lands on — produces the same bytes.
+func TestReloadUnderLoadOverlaySwap(t *testing.T) {
+	city, s := newWorld(t, func(c *Config) { c.UseHMMMatching = true })
+	withOverlay := s.Model()
+	if withOverlay.RoutingOverlay() == nil {
+		t.Fatal("trained model carries no overlay")
+	}
+	noOverlay, err := LoadModelFile(v1FixturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip := eventfulTrip(t, city, 63)
+	want, err := s.SummarizeK(trip.Raw, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	stop := make(chan struct{})
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					errs <- nil
+					return
+				default:
+				}
+				got, err := s.SummarizeK(trip.Raw, 3)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.Text != want.Text {
+					errs <- fmt.Errorf("summary diverged mid-swap:\n got: %s\nwant: %s", got.Text, want.Text)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		m := withOverlay
+		if i%2 == 0 {
+			m = noOverlay
+		}
+		if err := s.LoadModel(m); err != nil {
+			close(stop)
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestV1FixtureRejectsOnlyGenuineCorruption pins the error taxonomy on
+// the old-format file: the pristine fixture loads, and ErrInvalidModel
+// appears only when the bytes are actually damaged.
+func TestV1FixtureRejectsOnlyGenuineCorruption(t *testing.T) {
+	data, err := os.ReadFile(v1FixturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelFile(v1FixturePath); err != nil {
+		t.Fatalf("pristine fixture: %v", err)
+	}
+	dir := t.TempDir()
+	write := func(b []byte) string {
+		p := dir + "/m.stm"
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x20
+	if _, err := LoadModelFile(write(flipped)); !errors.Is(err, ErrInvalidModel) {
+		t.Fatalf("flipped byte: err = %v, want ErrInvalidModel", err)
+	}
+	if _, err := LoadModelFile(write(data[:len(data)-7])); !errors.Is(err, ErrInvalidModel) {
+		t.Fatalf("truncation: err = %v, want ErrInvalidModel", err)
+	}
+	if _, err := LoadModelFile(dir + "/absent.stm"); !errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("missing file: err = %v, want ErrModelNotFound", err)
+	}
+}

@@ -92,6 +92,12 @@ const (
 	// MetricSPCacheEvictions counts LRU evictions from the cache.
 	MetricSPCacheEvictions = "roadnet_sp_cache_evictions_total"
 
+	// MetricModelBuild times model-assembly work that happens inside
+	// Train beyond corpus aggregation — today the ALT routing-overlay
+	// precomputation (see Config.OverlayLandmarks). The serving reload
+	// path observes its whole rebuild into the same histogram name in the
+	// server registry, so one dashboard panel covers both.
+	MetricModelBuild = "model_build_seconds"
 	// MetricModelVersion is a gauge holding the currently-served model's
 	// version (see Model.Version); 0 until the first publish.
 	MetricModelVersion = "model_version"
@@ -163,6 +169,16 @@ type Config struct {
 	// corpus in parallel: 0 (default) uses GOMAXPROCS, 1 forces the
 	// serial path (the benchmark baseline).
 	TrainWorkers int
+	// OverlayLandmarks is the number of ALT routing landmarks Train
+	// precomputes over the road graph and hangs off the published Model
+	// (see roadnet.BuildOverlay): goal-directed lower bounds make cold
+	// shortest-path queries near-warm while keeping results bit-identical
+	// to plain Dijkstra. 0 uses roadnet.DefaultOverlayLandmarks; negative
+	// disables the overlay (models then serve through the plain engine).
+	// The precomputation parallelizes across TrainWorkers and its
+	// duration is reported in TrainStats.OverlayBuildSeconds and the
+	// model_build_seconds histogram.
+	OverlayLandmarks int
 	// Sanitize, when non-nil, repairs every raw trajectory (corpus and
 	// serve-time) before calibration: invalid fixes are dropped,
 	// timestamps re-sorted and deduplicated, teleport outliers and
@@ -194,6 +210,10 @@ type TrainStats struct {
 	// Repairs aggregates the sanitizer's per-kind repair counts over the
 	// whole corpus.
 	Repairs sanitize.Report
+	// OverlayBuildSeconds is the wall time spent precomputing the ALT
+	// routing overlay (Config.OverlayLandmarks); 0 when the overlay was
+	// disabled or reused from the previously published model.
+	OverlayBuildSeconds float64
 }
 
 // Summarizer is the end-to-end STMaker pipeline. All trained knowledge
@@ -436,6 +456,7 @@ func (s *Summarizer) Train(corpus []*traj.Raw) (TrainStats, error) {
 	}
 	m := s.trainSymbolic(symbolic, stats)
 	stats.Transitions = m.stats.Transitions
+	stats.OverlayBuildSeconds = m.stats.OverlayBuildSeconds
 	return stats, nil
 }
 
@@ -518,6 +539,7 @@ func (s *Summarizer) trainSymbolic(corpus []*traj.Symbolic, stats TrainStats) *M
 	tctx.MatchRadiusMeters = s.ctx.MatchRadiusMeters
 	featMap := history.BuildFeatureMap(corpus, s.registry, tctx)
 	stats.Transitions = featMap.NumEdges()
+	overlay := s.routingOverlay(&stats)
 	return s.publish(Model{
 		featureKeys:             s.featureKeys(),
 		calibrationRadiusMeters: s.cfg.CalibrationRadiusMeters,
@@ -525,7 +547,32 @@ func (s *Summarizer) trainSymbolic(corpus []*traj.Symbolic, stats TrainStats) *M
 		stats:                   stats,
 		popular:                 history.BuildPopular(corpus),
 		featMap:                 featMap,
+		overlay:                 overlay,
 	})
+}
+
+// routingOverlay returns the ALT overlay for the model being assembled:
+// the previous model's overlay when one is already serving (the graph is
+// fixed per Summarizer, so its tables stay valid across retrains — a live
+// retrain never re-pays the precomputation), a freshly built one on the
+// first train, or nil when Config.OverlayLandmarks disables it. A fresh
+// build parallelizes across Config.TrainWorkers, stamps
+// stats.OverlayBuildSeconds and observes model_build_seconds.
+func (s *Summarizer) routingOverlay(stats *TrainStats) *roadnet.Overlay {
+	if m := s.model.Load(); m != nil && m.overlay != nil && m.overlay.NumNodes() == s.cfg.Graph.NumNodes() {
+		return m.overlay
+	}
+	if s.cfg.OverlayLandmarks < 0 {
+		return nil
+	}
+	t0 := time.Now()
+	o := roadnet.BuildOverlay(s.cfg.Graph, roadnet.OverlayOptions{
+		Landmarks: s.cfg.OverlayLandmarks,
+		Workers:   s.cfg.TrainWorkers,
+	})
+	stats.OverlayBuildSeconds = time.Since(t0).Seconds()
+	s.mx.Histogram(MetricModelBuild).Observe(stats.OverlayBuildSeconds)
+	return o
 }
 
 // Trained reports whether a knowledge model has been published (via

@@ -1,0 +1,55 @@
+//go:build ignore
+
+// gen_model_v1.go generated testdata/model_v1.stm: a model file written by
+// the FormatVersion-1 codec (before the routing overlay existed), pinned so
+// the backward-compatibility tests always have a genuine old-format file to
+// load. It was run once at codec version 1 and is kept for provenance only —
+// re-running it under a newer codec would produce a current-format file, not
+// a version-1 one.
+//
+// The world and corpus are the deterministic simulated city the root
+// integration tests build (see newWorld in stmaker_test.go): an 8x8 grid at
+// seed 21, check-ins at seed 22, a calm 120-trip fleet at seed 23, trained
+// with HMM matching enabled.
+//
+// Usage (from the repo root): go run testdata/gen_model_v1.go
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"stmaker"
+	"stmaker/internal/hits"
+	"stmaker/internal/simulate"
+	"stmaker/internal/traj"
+)
+
+func main() {
+	city := simulate.NewCity(simulate.CityOptions{Rows: 8, Cols: 8, BlockMeters: 500, Seed: 21})
+	visits := simulate.GenerateCheckins(city.Landmarks, simulate.CheckinOptions{Seed: 22})
+	city.Landmarks.InferSignificance(200, visits, hits.Options{})
+
+	s, err := stmaker.New(stmaker.Config{Graph: city.Graph, Landmarks: city.Landmarks, UseHMMMatching: true})
+	if err != nil {
+		panic(err)
+	}
+	train := simulate.GenerateFleet(city, simulate.FleetOptions{NumTrips: 120, Seed: 23, FixedHour: -1, Calm: true})
+	corpus := make([]*traj.Raw, 0, len(train))
+	for _, tr := range train {
+		corpus = append(corpus, tr.Raw)
+	}
+	if _, err := s.Train(corpus); err != nil {
+		panic(err)
+	}
+	f, err := os.Create("testdata/model_v1.stm")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	n, err := s.SaveModel(f)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote testdata/model_v1.stm (%d bytes)\n", n)
+}
